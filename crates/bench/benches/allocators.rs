@@ -1,0 +1,79 @@
+//! Criterion benches for the miner-side allocators (Table IV rows):
+//! Metis-like multilevel partitioning, G-TxAllo, and the A-TxAllo
+//! incremental update, all on the same synthetic community graph.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
+use mosaic_txallo::{ATxAllo, GTxAllo};
+use mosaic_txgraph::GraphBuilder;
+use mosaic_workload::{generate, WorkloadConfig};
+
+/// A mid-size workload: large enough to show the asymptotic gap between
+/// the global algorithms and the adaptive/client paths, small enough for
+/// a criterion run (seconds per iteration).
+fn bench_workload() -> WorkloadConfig {
+    WorkloadConfig::small_test(7)
+        .with_accounts(5_000)
+        .with_blocks(5_000)
+        .with_txs_per_block(10)
+        .with_communities(64)
+}
+
+fn bench_global_allocators(c: &mut Criterion) {
+    let trace = generate(&bench_workload()).into_trace();
+    let mut builder = GraphBuilder::new();
+    builder.add_transactions(trace.transactions());
+    let graph = builder.build();
+    let k = 16u16;
+
+    let mut group = c.benchmark_group("global_allocators");
+    group.sample_size(10);
+    group.bench_function("metis", |b| {
+        b.iter(|| MetisPartitioner::default().partition(&graph, k))
+    });
+    group.bench_function("g_txallo", |b| {
+        b.iter(|| GTxAllo::default().partition(&graph, k))
+    });
+    group.bench_function("hash", |b| {
+        b.iter(|| HashAllocator::chainspace().allocate(&graph, k))
+    });
+    group.finish();
+}
+
+fn bench_adaptive_update(c: &mut Criterion) {
+    let trace = generate(&bench_workload()).into_trace();
+    let (train, eval) = trace.split_at_fraction(0.9);
+    let mut builder = GraphBuilder::new();
+    builder.add_transactions(train);
+    let graph = builder.build();
+    let k = 16u16;
+    let phi = GTxAllo::default().allocate(&graph, k);
+
+    c.bench_function("a_txallo_update_window", |b| {
+        b.iter_batched(
+            || phi.clone(),
+            |mut phi| ATxAllo::default().update(&mut phi, eval),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let trace = generate(&bench_workload()).into_trace();
+    c.bench_function("graph_build_50k_txs", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::new();
+            builder.add_transactions(trace.transactions());
+            builder.build()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_global_allocators,
+    bench_adaptive_update,
+    bench_graph_build
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the chain substrate: epoch processing under
+//! the capacity model, beacon-chain commitment, and SHA-256 throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mosaic_chain::{BeaconChain, Ledger};
+use mosaic_types::hash::sha256;
+use mosaic_types::{
+    AccountId, AccountShardMap, BlockHeight, EpochId, MigrationRequest, ShardId, SystemParams,
+    Transaction, TxId,
+};
+
+fn sample_txs(n: u64) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| {
+            Transaction::new(
+                TxId::new(i),
+                AccountId::new(i % 997),
+                AccountId::new((i * 31 + 7) % 997),
+                BlockHeight::new(i / 25),
+            )
+        })
+        .collect()
+}
+
+fn bench_process_epoch(c: &mut Criterion) {
+    let params = SystemParams::builder()
+        .shards(16)
+        .tau(300)
+        .build()
+        .unwrap();
+    let txs = sample_txs(7_500);
+    let mut group = c.benchmark_group("ledger");
+    group.throughput(Throughput::Elements(txs.len() as u64));
+    group.bench_function("process_epoch_7500tx_k16", |b| {
+        b.iter_batched(
+            || Ledger::new(params, AccountShardMap::new(16), 64).unwrap(),
+            |mut ledger| ledger.process_epoch(&txs),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_beacon_commit(c: &mut Criterion) {
+    let requests: Vec<MigrationRequest> = (0..2_000u64)
+        .map(|i| {
+            MigrationRequest::new(
+                AccountId::new(i),
+                ShardId::new((i % 16) as u16),
+                ShardId::new(((i + 1) % 16) as u16),
+                EpochId::new(0),
+                (i % 100) as f64,
+            )
+            .unwrap()
+        })
+        .collect();
+    c.bench_function("beacon_commit_2000_pending_cap_500", |b| {
+        b.iter_batched(
+            || {
+                let mut bc = BeaconChain::new();
+                for mr in &requests {
+                    bc.submit(*mr);
+                }
+                bc
+            },
+            |mut bc| bc.commit_epoch(EpochId::new(0), 500),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("4096B", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_process_epoch,
+    bench_beacon_commit,
+    bench_sha256
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the client-side path (Table IV, "Pilot" row):
+//! one full Pilot decision at k = 4 / 16 / 32, plus its parts (Ψ
+//! derivation, fusion, potential argmax).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mosaic_core::{CounterpartySet, Pilot, PilotInput};
+use mosaic_types::{AccountId, AccountShardMap, ShardId};
+
+/// A client state with `n` distinct counterparties spread over k shards.
+fn client_state(n: u64, k: u16) -> (CounterpartySet, AccountShardMap) {
+    let mut set = CounterpartySet::new();
+    let mut phi = AccountShardMap::new(k);
+    for i in 0..n {
+        let cp = AccountId::new(1000 + i);
+        set.add(cp, (i % 5 + 1) as u32);
+        phi.assign(cp, ShardId::new((i % u64::from(k)) as u16))
+            .unwrap();
+    }
+    (set, phi)
+}
+
+fn bench_pilot_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pilot_decide");
+    for &k in &[4u16, 16, 32] {
+        // The paper's average client has ~2|T|/|A| ≈ 15 interactions.
+        let (set, phi) = client_state(15, k);
+        let omega: Vec<f64> = (0..k).map(|i| 100.0 + f64::from(i)).collect();
+        let pilot = Pilot::new(2.0);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                // The full client-side path: Equation 1 (Ψ from the
+                // counterparty multiset under current ϕ) + Algorithm 1.
+                let psi = set.interaction_vector(&phi);
+                pilot.decide(&PilotInput {
+                    psi: &psi,
+                    omega: &omega,
+                    current: ShardId::new(0),
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interaction_vector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction_vector");
+    for &n in &[10u64, 100, 1000] {
+        let (set, phi) = client_state(n, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| set.interaction_vector(&phi))
+        });
+    }
+    group.finish();
+}
+
+fn bench_potential_argmax(c: &mut Criterion) {
+    let psi: Vec<f64> = (0..32).map(|i| (i % 7) as f64).collect();
+    let omega: Vec<f64> = (0..32).map(|i| 50.0 + i as f64).collect();
+    c.bench_function("potential_argmax_k32", |b| {
+        b.iter(|| mosaic_core::potential::argmax_potential(&psi, &omega, 2.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pilot_decision,
+    bench_interaction_vector,
+    bench_potential_argmax
+);
+criterion_main!(benches);

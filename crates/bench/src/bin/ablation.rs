@@ -1,0 +1,16 @@
+//! Policy ablation (beyond the paper): Pilot versus its single-signal
+//! components (interaction-only, workload-only) and a never-migrate
+//! baseline.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Ablations (k = 16)");
+    println!("--- Client policy components ---");
+    println!("{}", experiments::policy_ablation(&scale));
+    println!("--- Beacon migration-capacity bound ---");
+    println!("{}", experiments::capacity_ablation(&scale));
+    println!("--- Churn sensitivity (new-account arrival rate) ---");
+    println!("{}", experiments::churn_ablation(&scale));
+}

@@ -1,0 +1,26 @@
+//! Runs the effectiveness grid once and regenerates every table and
+//! figure of the paper from it (the efficient path — the per-table
+//! binaries re-run the grid each time).
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("All experiments (Tables I-VI, Figure 1)");
+    let cells = experiments::effectiveness_grid(&scale);
+
+    println!("--- Table I: cross-shard transaction ratio ---");
+    println!("{}", experiments::table1(&cells));
+    println!("--- Table II: normalized throughput (Lambda/lambda) ---");
+    println!("{}", experiments::table2(&cells));
+    println!("--- Table III: workload deviation ---");
+    println!("{}", experiments::table3(&cells));
+    println!("--- Table IV: running time (s) and input data size ---");
+    println!("{}", experiments::table4(&cells));
+    println!("--- Table V: future knowledge (beta sweep, k = 4) ---");
+    println!("{}", experiments::table5(&scale));
+    println!("--- Table VI: framework comparison (measured) ---");
+    println!("{}", experiments::table6(&cells, &scale));
+    println!("--- Figure 1: radar series (normalised 1..5) ---");
+    println!("{}", experiments::fig1(&cells, &scale));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 1: the six-axis radar comparison (normalised
+//! [1, 5] series for TxAllo vs Mosaic vs hash-based).
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Figure 1: efficiency/effectiveness radar");
+    let cells = experiments::effectiveness_grid(&scale);
+    println!("{}", experiments::fig1(&cells, &scale));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I: average cross-shard transaction ratios.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Table I: cross-shard transaction ratio");
+    let cells = experiments::effectiveness_grid(&scale);
+    println!("{}", experiments::table1(&cells));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table II: average throughput improvement Λ/λ.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Table II: normalized throughput");
+    let cells = experiments::effectiveness_grid(&scale);
+    println!("{}", experiments::table2(&cells));
+}

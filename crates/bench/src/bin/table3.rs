@@ -1,0 +1,10 @@
+//! Regenerates Table III: average workload deviation.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Table III: workload deviation");
+    let cells = experiments::effectiveness_grid(&scale);
+    println!("{}", experiments::table3(&cells));
+}

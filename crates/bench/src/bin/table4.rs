@@ -1,0 +1,10 @@
+//! Regenerates Table IV: average running time (seconds) and input size.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Table IV: running time and input data size");
+    let cells = experiments::effectiveness_grid(&scale);
+    println!("{}", experiments::table4(&cells));
+}

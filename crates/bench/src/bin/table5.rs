@@ -1,0 +1,9 @@
+//! Regenerates Table V: impact of the future-knowledge ratio β.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Table V: future knowledge (beta sweep, k = 4)");
+    println!("{}", experiments::table5(&scale));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table VI: the framework comparison, with measured values.
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::experiments;
+
+fn main() {
+    let scale = scale_from_env("Table VI: framework comparison");
+    let cells = experiments::effectiveness_grid(&scale);
+    println!("{}", experiments::table6(&cells, &scale));
+}

@@ -1,0 +1,38 @@
+//! Shared plumbing for the report binaries and criterion benches.
+//!
+//! Every table and figure of the paper has a dedicated binary:
+//!
+//! ```text
+//! cargo run -p mosaic-bench --release --bin table1   # cross-shard ratio
+//! cargo run -p mosaic-bench --release --bin table2   # throughput
+//! cargo run -p mosaic-bench --release --bin table3   # workload deviation
+//! cargo run -p mosaic-bench --release --bin table4   # runtime + input size
+//! cargo run -p mosaic-bench --release --bin table5   # future-knowledge sweep
+//! cargo run -p mosaic-bench --release --bin table6   # framework comparison
+//! cargo run -p mosaic-bench --release --bin fig1     # radar series
+//! cargo run -p mosaic-bench --release --bin all_experiments
+//! cargo run -p mosaic-bench --release --bin ablation # policy ablation
+//! ```
+//!
+//! All binaries honour `MOSAIC_SCALE=quick|default|full`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use mosaic_sim::Scale;
+
+/// Resolves the scale from `MOSAIC_SCALE` and prints a standard header.
+pub fn scale_from_env(experiment: &str) -> Scale {
+    let scale = Scale::from_env();
+    println!("== {experiment} ==");
+    println!(
+        "scale: {} ({} blocks x {} txs/block, tau = {}, {} eval epochs)",
+        scale.label,
+        scale.workload.blocks,
+        scale.workload.txs_per_block,
+        scale.tau,
+        scale.eval_epochs
+    );
+    println!();
+    scale
+}

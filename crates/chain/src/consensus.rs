@@ -1,0 +1,97 @@
+//! A deterministic consensus *cost model*.
+//!
+//! The paper (like its own evaluation) never runs real BFT consensus; it
+//! charges 1 workload unit per intra-shard transaction and `η` per
+//! involved shard for cross-shard ones. This module adds the time
+//! dimension for latency-oriented examples: a PBFT-style per-block cost
+//! with a fixed round-trip base plus per-transaction execution time, and
+//! an extra term for the multi-round cross-shard commit the paper calls
+//! "expensive multi-round cross-shard consensus".
+
+use std::time::Duration;
+
+/// Latency model for block production in one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsensusModel {
+    /// Fixed cost of one consensus round (propose + prepare + commit).
+    pub round_base: Duration,
+    /// Execution/validation cost per intra-shard transaction.
+    pub per_intra_tx: Duration,
+    /// Additional cost per cross-shard transaction (extra round trips of
+    /// the two-phase cross-shard protocol).
+    pub per_cross_tx: Duration,
+}
+
+impl Default for ConsensusModel {
+    /// Ethereum-flavoured defaults: ~1 s of consensus overhead per block,
+    /// 0.5 ms per transaction, 2 ms extra per cross-shard transaction.
+    fn default() -> Self {
+        ConsensusModel {
+            round_base: Duration::from_millis(1000),
+            per_intra_tx: Duration::from_micros(500),
+            per_cross_tx: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ConsensusModel {
+    /// Latency to commit one block with the given transaction mix.
+    pub fn block_latency(&self, intra: usize, cross: usize) -> Duration {
+        self.round_base
+            + self.per_intra_tx * intra as u32
+            + (self.per_intra_tx + self.per_cross_tx) * cross as u32
+    }
+
+    /// Expected confirmation latency of a single transaction in a shard
+    /// already carrying `pending` workload units: transactions queue
+    /// behind the pending load, so latency grows linearly with congestion.
+    /// This is the client-visible quantity Pilot's workload term reduces.
+    pub fn confirmation_latency(&self, pending: f64, cross_shard: bool) -> Duration {
+        let queue = self.per_intra_tx.mul_f64(pending.max(0.0));
+        let own = if cross_shard {
+            self.per_intra_tx + self.per_cross_tx + self.round_base
+        } else {
+            self.per_intra_tx
+        };
+        self.round_base + queue + own
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_latency_scales_with_load() {
+        let m = ConsensusModel::default();
+        let empty = m.block_latency(0, 0);
+        let loaded = m.block_latency(100, 10);
+        assert!(loaded > empty);
+        assert_eq!(empty, m.round_base);
+    }
+
+    #[test]
+    fn cross_txs_cost_more() {
+        let m = ConsensusModel::default();
+        assert!(m.block_latency(0, 10) > m.block_latency(10, 0));
+    }
+
+    #[test]
+    fn confirmation_latency_grows_with_congestion() {
+        let m = ConsensusModel::default();
+        let idle = m.confirmation_latency(0.0, false);
+        let busy = m.confirmation_latency(10_000.0, false);
+        assert!(busy > idle);
+        // Cross-shard confirmation pays the extra round.
+        assert!(m.confirmation_latency(0.0, true) > idle);
+    }
+
+    #[test]
+    fn negative_pending_is_clamped() {
+        let m = ConsensusModel::default();
+        assert_eq!(
+            m.confirmation_latency(-5.0, false),
+            m.confirmation_latency(0.0, false)
+        );
+    }
+}

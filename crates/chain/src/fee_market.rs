@@ -1,0 +1,145 @@
+//! Migration-fee market: the §VII-B DoS-economics argument, executable.
+//!
+//! The paper argues that flooding the beacon chain with migration
+//! requests is economically irrational: requests pay fees, and fees are
+//! how blockchains price scarce block space. This module implements an
+//! EIP-1559-style fee controller for beacon-chain migration requests so
+//! the claim can be *measured*: the base fee multiplies up while
+//! utilisation exceeds target, so the cost of a sustained flood grows
+//! geometrically with its duration, while an honest client's occasional
+//! migration pays the near-floor fee.
+
+/// EIP-1559-style controller for the migration-request base fee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationFeeMarket {
+    base_fee: f64,
+    /// Fee floor (the cost of beacon inclusion at zero contention).
+    pub min_fee: f64,
+    /// Target utilisation of beacon capacity (0, 1].
+    pub target_utilization: f64,
+    /// Maximum multiplicative fee change per epoch (EIP-1559 uses 1/8).
+    pub max_change: f64,
+}
+
+impl MigrationFeeMarket {
+    /// Creates a market with the given floor fee, 50% target
+    /// utilisation, and 12.5% max change per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_fee <= 0`.
+    pub fn new(min_fee: f64) -> Self {
+        assert!(min_fee > 0.0, "fee floor must be positive");
+        MigrationFeeMarket {
+            base_fee: min_fee,
+            min_fee,
+            target_utilization: 0.5,
+            max_change: 0.125,
+        }
+    }
+
+    /// The fee a request pays this epoch.
+    pub fn current_fee(&self) -> f64 {
+        self.base_fee
+    }
+
+    /// Adjusts the base fee after an epoch that committed `committed`
+    /// requests out of `capacity`: over target ⇒ fee rises, under
+    /// target ⇒ fee falls, never below the floor, by at most
+    /// `max_change` per epoch.
+    pub fn on_epoch(&mut self, committed: usize, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        let utilization = committed as f64 / capacity as f64;
+        let pressure =
+            ((utilization - self.target_utilization) / self.target_utilization).clamp(-1.0, 1.0);
+        self.base_fee = (self.base_fee * (1.0 + self.max_change * pressure)).max(self.min_fee);
+    }
+
+    /// Simulates a sustained flood: an attacker submits
+    /// `requests_per_epoch` (filling capacity) for `epochs` epochs and
+    /// pays the prevailing fee each time. Returns the total cost.
+    ///
+    /// The honest baseline — one request at the floor fee — is
+    /// `min_fee`; compare the two to see the §VII-B asymmetry.
+    pub fn flood_cost(&self, requests_per_epoch: usize, capacity: usize, epochs: usize) -> f64 {
+        let mut market = *self;
+        let mut total = 0.0;
+        for _ in 0..epochs {
+            let committed = requests_per_epoch.min(capacity);
+            total += committed as f64 * market.current_fee();
+            // The attacker also pays for the dropped excess (they were
+            // submitted and priced even if not committed).
+            total +=
+                requests_per_epoch.saturating_sub(capacity) as f64 * market.current_fee() * 0.1;
+            market.on_epoch(committed, capacity);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_market_stays_at_floor() {
+        let mut m = MigrationFeeMarket::new(1.0);
+        for _ in 0..50 {
+            m.on_epoch(0, 100);
+        }
+        assert_eq!(m.current_fee(), 1.0);
+    }
+
+    #[test]
+    fn full_blocks_raise_fees_geometrically() {
+        let mut m = MigrationFeeMarket::new(1.0);
+        for _ in 0..20 {
+            m.on_epoch(100, 100); // 100% utilisation, target 50%
+        }
+        // 20 epochs of +12.5%: (1.125)^20 ≈ 10.5x.
+        assert!(m.current_fee() > 9.0, "fee = {}", m.current_fee());
+    }
+
+    #[test]
+    fn fees_recover_after_the_flood() {
+        let mut m = MigrationFeeMarket::new(1.0);
+        for _ in 0..20 {
+            m.on_epoch(100, 100);
+        }
+        let peak = m.current_fee();
+        for _ in 0..60 {
+            m.on_epoch(10, 100); // back to low utilisation
+        }
+        assert!(m.current_fee() < peak / 5.0);
+        assert!(m.current_fee() >= m.min_fee);
+    }
+
+    #[test]
+    fn sustained_attack_cost_grows_superlinearly() {
+        let m = MigrationFeeMarket::new(1.0);
+        let short = m.flood_cost(100, 100, 10);
+        let long = m.flood_cost(100, 100, 30);
+        // 3x the duration must cost much more than 3x the money.
+        assert!(
+            long > short * 4.0,
+            "short {short}, long {long} — fee pressure missing"
+        );
+    }
+
+    #[test]
+    fn honest_migration_is_cheap() {
+        let m = MigrationFeeMarket::new(1.0);
+        let attack = m.flood_cost(100, 100, 20);
+        let honest = m.current_fee();
+        assert!(attack / honest > 2000.0);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut m = MigrationFeeMarket::new(1.0);
+        m.on_epoch(10, 0);
+        assert_eq!(m.current_fee(), 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Miners and periodic reshuffling.
+//!
+//! Permissionless sharding protocols periodically reshuffle miners across
+//! shards so that malicious miners cannot camp in one shard (Elastico and
+//! its successors; §II-A). Mosaic piggybacks account migration on this
+//! existing reconfiguration step, so the simulator models reshuffling
+//! explicitly: each epoch every miner is (re-)assigned deterministically
+//! from the epoch seed, and the number of miners that changed shard
+//! drives the state-synchronisation cost accounting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mosaic_types::{EpochId, ShardId};
+
+/// A consensus node maintaining one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Miner {
+    /// Stable identity of the miner.
+    pub id: u32,
+    /// Shard the miner currently maintains.
+    pub shard: ShardId,
+}
+
+/// The miner population `M` with its shard assignment.
+///
+/// Reshuffling is deterministic in `(population, k, epoch, seed)`: a
+/// seeded Fisher–Yates permutation is split into `k` equal contiguous
+/// groups, so every shard keeps `count/k ± 1` miners — the even
+/// distribution of computing power the paper's capacity model assumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinerSet {
+    miners: Vec<Miner>,
+    shards: u16,
+    seed: u64,
+}
+
+impl MinerSet {
+    /// Creates `count` miners over `shards` shards, assigned round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `count < shards as usize` (every shard
+    /// needs at least one miner).
+    pub fn new(count: usize, shards: u16, seed: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            count >= usize::from(shards),
+            "need at least one miner per shard"
+        );
+        let miners = (0..count as u32)
+            .map(|id| Miner {
+                id,
+                shard: ShardId::new((id % u32::from(shards)) as u16),
+            })
+            .collect();
+        MinerSet {
+            miners,
+            shards,
+            seed,
+        }
+    }
+
+    /// Number of miners.
+    pub fn len(&self) -> usize {
+        self.miners.len()
+    }
+
+    /// Returns `true` if there are no miners (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.miners.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// All miners with their current assignment.
+    pub fn miners(&self) -> &[Miner] {
+        &self.miners
+    }
+
+    /// Miners currently assigned to `shard`.
+    pub fn in_shard(&self, shard: ShardId) -> impl Iterator<Item = &Miner> {
+        self.miners.iter().filter(move |m| m.shard == shard)
+    }
+
+    /// Per-shard miner counts.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; usize::from(self.shards)];
+        for m in &self.miners {
+            counts[m.shard.index()] += 1;
+        }
+        counts
+    }
+
+    /// Reshuffles all miners for `epoch`; returns how many changed shard
+    /// (each of those must synchronise its new shard's state).
+    pub fn reshuffle(&mut self, epoch: EpochId) -> usize {
+        let n = self.miners.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        // Contiguous equal split of the permutation over shards.
+        let k = usize::from(self.shards);
+        let mut moved = 0usize;
+        for (pos, &idx) in order.iter().enumerate() {
+            let shard = ShardId::new((pos * k / n) as u16);
+            let miner = &mut self.miners[idx as usize];
+            if miner.shard != shard {
+                miner.shard = shard;
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_assignment_is_even() {
+        let set = MinerSet::new(40, 4, 7);
+        assert_eq!(set.counts(), vec![10, 10, 10, 10]);
+        assert_eq!(set.len(), 40);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn reshuffle_keeps_balance() {
+        let mut set = MinerSet::new(41, 4, 7);
+        for e in 0..5 {
+            set.reshuffle(EpochId::new(e));
+            let counts = set.counts();
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(max - min <= 1, "unbalanced after reshuffle: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn reshuffle_moves_most_miners() {
+        let mut set = MinerSet::new(100, 10, 3);
+        let moved = set.reshuffle(EpochId::new(1));
+        // A random permutation leaves a miner in place with prob ~1/k.
+        assert!(moved > 50, "only {moved} moved");
+    }
+
+    #[test]
+    fn reshuffle_is_deterministic_per_epoch() {
+        let mut a = MinerSet::new(20, 4, 9);
+        let mut b = MinerSet::new(20, 4, 9);
+        a.reshuffle(EpochId::new(3));
+        b.reshuffle(EpochId::new(3));
+        assert_eq!(a, b);
+        // Different epochs shuffle differently.
+        let mut c = MinerSet::new(20, 4, 9);
+        c.reshuffle(EpochId::new(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn in_shard_filters() {
+        let set = MinerSet::new(8, 2, 0);
+        let s0: Vec<u32> = set.in_shard(ShardId::new(0)).map(|m| m.id).collect();
+        assert_eq!(s0, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner per shard")]
+    fn too_few_miners_panics() {
+        let _ = MinerSet::new(3, 4, 0);
+    }
+}

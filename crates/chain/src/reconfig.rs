@@ -1,0 +1,151 @@
+//! Epoch reconfiguration (§III-B1).
+//!
+//! Every `τ` beacon blocks the system reconfigures:
+//!
+//! 1. miners synchronise the beacon chain and update their local
+//!    account-shard mapping ϕ with the migrations committed during the
+//!    previous epoch;
+//! 2. miners are reshuffled across shards (the conventional security
+//!    step);
+//! 3. account state moves to its new shard *concurrently* with the
+//!    reshuffle synchronisation — the paper's key observation is that
+//!    migration rides on the existing sync phase and adds no extra
+//!    communication round, only the migrated state bytes themselves.
+
+use mosaic_types::{AccountShardMap, EpochId, MigrationRequest};
+
+use crate::miner::MinerSet;
+use crate::network::NetworkMeter;
+
+/// Summary of one epoch reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigReport {
+    /// Epoch the reconfiguration belongs to.
+    pub epoch: EpochId,
+    /// Committed migrations applied to ϕ.
+    pub migrations_applied: usize,
+    /// Committed migrations whose `from` shard no longer matched ϕ (the
+    /// account had moved since proposal); they are still applied to their
+    /// requested destination, but flagged here for diagnostics.
+    pub migrations_stale: usize,
+    /// Miners that changed shard in the reshuffle.
+    pub miners_moved: usize,
+}
+
+/// Applies one reconfiguration step: ϕ update from the committed beacon
+/// requests, miner reshuffle, and byte accounting on `meter`.
+///
+/// `accounts_per_shard` is the (estimated) number of accounts a
+/// reshuffled miner must synchronise in its new shard.
+pub fn apply(
+    phi: &mut AccountShardMap,
+    committed: &[MigrationRequest],
+    miners: &mut MinerSet,
+    epoch: EpochId,
+    meter: &mut NetworkMeter,
+    accounts_per_shard: u64,
+) -> ReconfigReport {
+    // Step 1: every miner syncs the new beacon block.
+    meter.record_beacon_sync(committed.len(), miners.len());
+
+    // Step 2: ϕ update.
+    let mut stale = 0usize;
+    for mr in committed {
+        let from = phi
+            .migrate(mr.account, mr.to)
+            .expect("beacon committed an in-range destination");
+        if from != mr.from {
+            stale += 1;
+        }
+    }
+    meter.record_migrations(committed.len());
+
+    // Step 3: miner reshuffle + state sync (shared phase).
+    let moved = miners.reshuffle(epoch);
+    meter.record_reshuffle(moved, accounts_per_shard);
+
+    ReconfigReport {
+        epoch,
+        migrations_applied: committed.len(),
+        migrations_stale: stale,
+        miners_moved: moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_types::{AccountId, ShardId};
+
+    fn mr(account: u64, from: u16, to: u16) -> MigrationRequest {
+        MigrationRequest::new(
+            AccountId::new(account),
+            ShardId::new(from),
+            ShardId::new(to),
+            EpochId::new(0),
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn applies_migrations_and_reshuffles() {
+        let mut phi = AccountShardMap::new(2);
+        phi.assign(AccountId::new(1), ShardId::new(0)).unwrap();
+        let mut miners = MinerSet::new(8, 2, 0);
+        let mut meter = NetworkMeter::new();
+        let committed = vec![mr(1, 0, 1)];
+        let report = apply(
+            &mut phi,
+            &committed,
+            &mut miners,
+            EpochId::new(1),
+            &mut meter,
+            100,
+        );
+        assert_eq!(phi.shard_of(AccountId::new(1)), ShardId::new(1));
+        assert_eq!(report.migrations_applied, 1);
+        assert_eq!(report.migrations_stale, 0);
+        assert!(meter.total() > 0);
+        assert!(meter.beacon_sync > 0);
+        assert!(meter.migration_state > 0);
+    }
+
+    #[test]
+    fn stale_migrations_are_flagged_but_applied() {
+        let mut phi = AccountShardMap::new(4);
+        // Account actually lives in shard 2, request claims it is in 0.
+        phi.assign(AccountId::new(5), ShardId::new(2)).unwrap();
+        let mut miners = MinerSet::new(8, 4, 0);
+        let mut meter = NetworkMeter::new();
+        let report = apply(
+            &mut phi,
+            &[mr(5, 0, 3)],
+            &mut miners,
+            EpochId::new(2),
+            &mut meter,
+            10,
+        );
+        assert_eq!(report.migrations_stale, 1);
+        assert_eq!(phi.shard_of(AccountId::new(5)), ShardId::new(3));
+    }
+
+    #[test]
+    fn empty_commit_still_reshuffles() {
+        let mut phi = AccountShardMap::new(2);
+        let mut miners = MinerSet::new(10, 2, 1);
+        let mut meter = NetworkMeter::new();
+        let report = apply(
+            &mut phi,
+            &[],
+            &mut miners,
+            EpochId::new(1),
+            &mut meter,
+            50,
+        );
+        assert_eq!(report.migrations_applied, 0);
+        assert!(report.miners_moved > 0);
+        assert_eq!(meter.migration_state, 0);
+        assert!(meter.reshuffle_sync > 0);
+    }
+}

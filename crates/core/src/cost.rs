@@ -1,0 +1,99 @@
+//! The full client cost function `u^ν_i` (Equation 3).
+//!
+//! The total cost a client ν pays for having its account in shard `S_i`:
+//!
+//! ```text
+//! u^ν_i = (1·ψ^ν_i + η·ψ^ν_{−i})·ξ_i + η·Σ_{j≠i} ψ^ν_j·ξ_j
+//! ```
+//!
+//! * `ψ^ν_i·ξ_i` — the client's intra-shard transactions, each paying
+//!   the local price `ξ_i`;
+//! * `η·ψ^ν_{−i}·ξ_i` — the local half of its cross-shard transactions
+//!   (difficulty η, price of the residence shard);
+//! * `η·Σ_{j≠i} ψ^ν_j·ξ_j` — the remote halves, paid at each
+//!   counterparty shard's price.
+//!
+//! Pilot uses `ξ_i = f(ω_i) = ω_i` (§IV). This module exists to
+//! *validate* the closed-form Potential of Equation 4 — production code
+//! paths use [`crate::potential`], which needs only `ψ_i` and `ω_i` of
+//! one shard instead of the whole vectors.
+
+/// Evaluates `u^ν_i` for shard `i` with `ξ = ω`.
+///
+/// # Panics
+///
+/// Panics if `psi` and `omega` differ in length or `i` is out of range.
+pub fn cost(psi: &[f64], omega: &[f64], eta: f64, i: usize) -> f64 {
+    assert_eq!(psi.len(), omega.len(), "psi and omega length mismatch");
+    assert!(i < psi.len(), "shard index out of range");
+    let psi_total: f64 = psi.iter().sum();
+    let psi_minus_i = psi_total - psi[i];
+    let local = (psi[i] + eta * psi_minus_i) * omega[i];
+    let remote: f64 = psi
+        .iter()
+        .zip(omega)
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, (p, w))| eta * p * w)
+        .sum();
+    local + remote
+}
+
+/// The shard minimising `u^ν_i`, with ties to the lower index.
+///
+/// # Panics
+///
+/// Panics if the vectors are empty or mismatched.
+pub fn argmin_cost(psi: &[f64], omega: &[f64], eta: f64) -> usize {
+    assert!(!psi.is_empty(), "need at least one shard");
+    (0..psi.len())
+        .map(|i| (i, cost(psi, omega, eta, i)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matches_hand_computation() {
+        // k=2, psi=[3,1], omega=[2,4], eta=2.
+        // u_0 = (3 + 2*1)*2 + 2*1*4 = 10 + 8 = 18
+        // u_1 = (1 + 2*3)*4 + 2*3*2 = 28 + 12 = 40
+        let psi = [3.0, 1.0];
+        let omega = [2.0, 4.0];
+        assert_eq!(cost(&psi, &omega, 2.0, 0), 18.0);
+        assert_eq!(cost(&psi, &omega, 2.0, 1), 40.0);
+        assert_eq!(argmin_cost(&psi, &omega, 2.0), 0);
+    }
+
+    #[test]
+    fn prefers_dominant_interaction_shard() {
+        let psi = [1.0, 20.0, 1.0];
+        let omega = [5.0, 5.0, 5.0];
+        assert_eq!(argmin_cost(&psi, &omega, 2.0), 1);
+    }
+
+    #[test]
+    fn with_uniform_interactions_prefers_light_shard() {
+        let psi = [2.0, 2.0, 2.0];
+        let omega = [9.0, 1.0, 9.0];
+        assert_eq!(argmin_cost(&psi, &omega, 2.0), 1);
+    }
+
+    #[test]
+    fn zero_psi_costs_are_all_zero() {
+        let psi = [0.0, 0.0];
+        let omega = [3.0, 7.0];
+        assert_eq!(cost(&psi, &omega, 2.0, 0), 0.0);
+        assert_eq!(cost(&psi, &omega, 2.0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = cost(&[1.0], &[1.0, 2.0], 2.0, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! **Mosaic** — the client-driven account allocation framework — and
+//! **Pilot**, its reference shard-selection algorithm (§III–IV of the
+//! paper).
+//!
+//! In Mosaic, no miner ever runs a global allocation algorithm. Instead,
+//! every client:
+//!
+//! 1. maintains its own tiny state: the multiset of counterparties it has
+//!    transacted with ([`CounterpartySet`], a few hundred bytes), plus
+//!    optionally its *expected* future counterparties;
+//! 2. derives its interaction distribution `Ψ` across shards (Equation 1,
+//!    [`interaction`]), fusing history with expectations by the
+//!    future-knowledge ratio `β` (Equation 2, [`fusion`]);
+//! 3. downloads the public workload distribution `Ω`
+//!    ([`WorkloadOracle`], the Etherscan-like mempool analyser);
+//! 4. picks the shard maximising its Potential `P^ν_i` (Equation 4,
+//!    [`potential`] — provably equivalent to minimising the full cost
+//!    `u^ν_i` of Equation 3, see [`cost`]);
+//! 5. if that shard differs from where it lives, submits a
+//!    [`mosaic_types::MigrationRequest`] to the beacon chain.
+//!
+//! [`MosaicFramework`] orchestrates steps 1–5 for a population of
+//! simulated clients against a [`mosaic_chain::Ledger`]. Clients are free
+//! to run any policy ([`policy`]); [`Pilot`] is the reference.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_core::{Pilot, PilotInput};
+//! use mosaic_types::ShardId;
+//!
+//! // A client with interactions [8, 1, 1] across 3 shards and a
+//! // balanced workload picks the shard it talks to most.
+//! let decision = Pilot::new(2.0).decide(&PilotInput {
+//!     psi: &[8.0, 1.0, 1.0],
+//!     omega: &[10.0, 10.0, 10.0],
+//!     current: ShardId::new(1),
+//! });
+//! assert_eq!(decision.target, ShardId::new(0));
+//! assert!(decision.gain > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod client;
+pub mod cost;
+pub mod fees;
+pub mod framework;
+pub mod fusion;
+pub mod interaction;
+pub mod oracle;
+pub mod pilot;
+pub mod policy;
+pub mod potential;
+
+pub use client::Client;
+pub use fees::FeeSchedule;
+pub use framework::{FrameworkReport, MosaicFramework};
+pub use interaction::CounterpartySet;
+pub use oracle::WorkloadOracle;
+pub use pilot::{Pilot, PilotDecision, PilotInput};
+pub use policy::{ClientPolicy, PolicyContext};

@@ -1,0 +1,101 @@
+//! The public workload oracle (§III-C2).
+//!
+//! In a deployment this is an Etherscan-like service analysing each
+//! shard's mempool and publishing the workload vector `Ω`; clients
+//! download `k` numbers — negligible bandwidth. In the simulation the
+//! experiment runner publishes `ω_i = |T^I_i| + η·|T^C_i|` computed from
+//! the *next* epoch's transactions under the current allocation, exactly
+//! as §V-A describes ("it is from analyzing transactions in the next
+//! epoch in this simulation").
+
+use mosaic_types::{EpochId, Error, Result};
+
+/// Published workload distributions, one per epoch.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadOracle {
+    current: Option<(EpochId, Vec<f64>)>,
+}
+
+impl WorkloadOracle {
+    /// Creates an oracle with nothing published yet.
+    pub fn new() -> Self {
+        WorkloadOracle::default()
+    }
+
+    /// Publishes the workload vector for `epoch`, replacing any previous
+    /// publication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is empty or contains negative/non-finite values.
+    pub fn publish(&mut self, epoch: EpochId, omega: Vec<f64>) {
+        assert!(!omega.is_empty(), "workload vector must be non-empty");
+        assert!(
+            omega.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "workloads must be finite and non-negative"
+        );
+        self.current = Some((epoch, omega));
+    }
+
+    /// The latest published vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInitialized`] before the first publication.
+    pub fn current(&self) -> Result<&[f64]> {
+        self.current
+            .as_ref()
+            .map(|(_, v)| v.as_slice())
+            .ok_or(Error::NotInitialized("workload oracle"))
+    }
+
+    /// The epoch of the latest publication, if any.
+    pub fn epoch(&self) -> Option<EpochId> {
+        self.current.as_ref().map(|(e, _)| *e)
+    }
+
+    /// Bytes a client downloads per refresh: one `f64` per shard.
+    pub fn download_size(&self) -> usize {
+        self.current.as_ref().map_or(0, |(_, v)| v.len() * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpublished_oracle_errors() {
+        let oracle = WorkloadOracle::new();
+        assert_eq!(
+            oracle.current().unwrap_err(),
+            Error::NotInitialized("workload oracle")
+        );
+        assert_eq!(oracle.epoch(), None);
+        assert_eq!(oracle.download_size(), 0);
+    }
+
+    #[test]
+    fn publish_and_read() {
+        let mut oracle = WorkloadOracle::new();
+        oracle.publish(EpochId::new(3), vec![1.0, 2.0, 3.0]);
+        assert_eq!(oracle.current().unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(oracle.epoch(), Some(EpochId::new(3)));
+        assert_eq!(oracle.download_size(), 24);
+        // Re-publication replaces.
+        oracle.publish(EpochId::new(4), vec![5.0]);
+        assert_eq!(oracle.current().unwrap(), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vector_panics() {
+        WorkloadOracle::new().publish(EpochId::new(0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_workload_panics() {
+        WorkloadOracle::new().publish(EpochId::new(0), vec![1.0, -2.0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! **Pilot** — Algorithm 1 of the paper.
+//!
+//! The reference shard-selection algorithm: given the fused interaction
+//! distribution `Ψ` and the public workload distribution `Ω`, pick the
+//! shard with the maximum Potential (Equation 4). The entire computation
+//! is `O(k)` — the four-orders-of-magnitude Table IV speedup over
+//! miner-driven methods comes from never touching the ledger.
+
+use mosaic_types::ShardId;
+
+use crate::potential::{argmax_potential, potential};
+
+/// The inputs Algorithm 1 consumes, all client-local or public.
+#[derive(Debug, Clone, Copy)]
+pub struct PilotInput<'a> {
+    /// Fused interaction distribution `Ψ^ν` (Equations 1–2).
+    pub psi: &'a [f64],
+    /// Public workload distribution `Ω` (from the oracle).
+    pub omega: &'a [f64],
+    /// The shard the account currently resides in, `ϕ(ν)`.
+    pub current: ShardId,
+}
+
+/// The outcome of one Pilot run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PilotDecision {
+    /// The shard the account resided in when deciding.
+    pub current: ShardId,
+    /// The selected shard (equals `current` when staying is optimal).
+    pub target: ShardId,
+    /// Potential of the selected shard.
+    pub target_potential: f64,
+    /// Potential of the current shard.
+    pub current_potential: f64,
+    /// `target_potential − current_potential` (≥ 0 by construction).
+    pub gain: f64,
+}
+
+impl PilotDecision {
+    /// `true` if Pilot recommends submitting a migration request.
+    pub fn should_migrate(&self) -> bool {
+        self.target != self.current
+    }
+}
+
+/// The Pilot algorithm, parameterised by the difficulty `η`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pilot {
+    eta: f64,
+}
+
+impl Pilot {
+    /// Creates Pilot for a system with cross-shard difficulty `eta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 1` or not finite.
+    pub fn new(eta: f64) -> Self {
+        assert!(eta.is_finite() && eta >= 1.0, "eta must be >= 1");
+        Pilot { eta }
+    }
+
+    /// The configured difficulty.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Runs Algorithm 1: evaluates `P^ν_i` for every shard and returns
+    /// the argmax, with the gain over the current shard.
+    ///
+    /// Two deliberate refinements over the raw argmax:
+    ///
+    /// * a shard is only *targeted* if its potential strictly beats the
+    ///   current shard's — clients never submit zero-value requests when
+    ///   they have interaction signal;
+    /// * a brand-new account (`Ψ = 0`, all potentials zero) targets the
+    ///   least-loaded shard instead (gain 0) — the §V-B3/§VI observation
+    ///   that Mosaic lets new accounts self-allocate from the workload
+    ///   distribution alone. Such requests sort last in the beacon's
+    ///   gain-ordered commitment, so they never displace valuable moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi` and `omega` differ in length, are empty, or
+    /// `current` is out of range.
+    pub fn decide(&self, input: &PilotInput<'_>) -> PilotDecision {
+        let PilotInput { psi, omega, current } = *input;
+        assert_eq!(psi.len(), omega.len(), "psi and omega length mismatch");
+        assert!(current.index() < psi.len(), "current shard out of range");
+        let psi_total: f64 = psi.iter().sum();
+
+        if psi_total <= 0.0 {
+            // New account: no interaction signal; follow the workload
+            // distribution (least-loaded shard).
+            let best = (0..omega.len())
+                .min_by(|&a, &b| {
+                    omega[a]
+                        .partial_cmp(&omega[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("nonempty omega");
+            let target = if omega[best] < omega[current.index()] {
+                ShardId::new(best as u16)
+            } else {
+                current
+            };
+            return PilotDecision {
+                current,
+                target,
+                target_potential: 0.0,
+                current_potential: 0.0,
+                gain: 0.0,
+            };
+        }
+
+        let current_potential =
+            potential(psi[current.index()], psi_total, omega[current.index()], self.eta);
+        let best = argmax_potential(psi, omega, self.eta);
+        let best_potential = potential(psi[best], psi_total, omega[best], self.eta);
+
+        if best_potential > current_potential {
+            PilotDecision {
+                current,
+                target: ShardId::new(best as u16),
+                target_potential: best_potential,
+                current_potential,
+                gain: best_potential - current_potential,
+            }
+        } else {
+            PilotDecision {
+                current,
+                target: current,
+                target_potential: current_potential,
+                current_potential,
+                gain: 0.0,
+            }
+        }
+    }
+}
+
+impl Default for Pilot {
+    /// Pilot with the paper's default `η = 2`.
+    fn default() -> Self {
+        Pilot::new(2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_toward_dominant_interactions() {
+        let d = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[8.0, 1.0, 1.0],
+            omega: &[10.0, 10.0, 10.0],
+            current: ShardId::new(2),
+        });
+        assert_eq!(d.target, ShardId::new(0));
+        assert!(d.gain > 0.0);
+        assert!(d.should_migrate());
+    }
+
+    #[test]
+    fn stays_when_already_optimal() {
+        let d = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[8.0, 1.0, 1.0],
+            omega: &[10.0, 10.0, 10.0],
+            current: ShardId::new(0),
+        });
+        assert_eq!(d.target, ShardId::new(0));
+        assert_eq!(d.gain, 0.0);
+        assert!(!d.should_migrate());
+    }
+
+    #[test]
+    fn new_account_goes_to_lightest_shard() {
+        let d = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[0.0, 0.0, 0.0],
+            omega: &[9.0, 2.0, 5.0],
+            current: ShardId::new(0),
+        });
+        assert_eq!(d.target, ShardId::new(1));
+        assert_eq!(d.gain, 0.0);
+        assert!(d.should_migrate());
+    }
+
+    #[test]
+    fn new_account_on_lightest_shard_stays() {
+        let d = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[0.0, 0.0],
+            omega: &[1.0, 9.0],
+            current: ShardId::new(0),
+        });
+        assert!(!d.should_migrate());
+    }
+
+    #[test]
+    fn workload_drives_weakly_connected_clients() {
+        // Uniform Ψ: negative weights, least-loaded shard has the highest
+        // (least negative) potential.
+        let d = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[2.0, 2.0, 2.0],
+            omega: &[9.0, 1.0, 9.0],
+            current: ShardId::new(0),
+        });
+        assert_eq!(d.target, ShardId::new(1));
+        assert!(d.gain > 0.0);
+    }
+
+    #[test]
+    fn highly_connected_client_ignores_workload() {
+        // ψ_0/ψ = 9/11 > η/(2η−1) = 2/3: glued to shard 0 (§IV).
+        let d = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[9.0, 1.0, 1.0],
+            omega: &[100.0, 1.0, 1.0],
+            current: ShardId::new(1),
+        });
+        assert_eq!(d.target, ShardId::new(0));
+    }
+
+    #[test]
+    fn gain_is_never_negative() {
+        for current in 0..3u16 {
+            let d = Pilot::new(5.0).decide(&PilotInput {
+                psi: &[1.0, 5.0, 2.0],
+                omega: &[3.0, 8.0, 1.0],
+                current: ShardId::new(current),
+            });
+            assert!(d.gain >= 0.0);
+            assert!(d.target_potential >= d.current_potential);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "current shard out of range")]
+    fn out_of_range_current_panics() {
+        let _ = Pilot::new(2.0).decide(&PilotInput {
+            psi: &[1.0],
+            omega: &[1.0],
+            current: ShardId::new(5),
+        });
+    }
+}

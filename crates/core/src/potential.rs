@@ -1,0 +1,139 @@
+//! The Potential `P^ν_i` (Equation 4) and the equivalence lemma.
+//!
+//! Section IV shows that comparing full costs `u^ν_i` (Equation 3) never
+//! needs the whole vectors: for any two shards `i, j`,
+//!
+//! ```text
+//! u^ν_i < u^ν_j  ⟺  P^ν_i > P^ν_j,   where
+//! P^ν_i = [(2η − 1)·ψ^ν_i − η·ψ^ν] · ω_i
+//! ```
+//!
+//! so the client just maximises `P`, reading only `ψ_i` and `ω_i` per
+//! candidate shard. The property test `prop_potential_equals_cost` (in
+//! this module's tests) machine-checks the algebra on random instances.
+
+/// Evaluates `P^ν_i` from the shard-local quantities.
+///
+/// `psi_i` — the client's interactions with shard `i`; `psi_total` — its
+/// total interactions `ψ^ν`; `omega_i` — shard `i`'s workload.
+pub fn potential(psi_i: f64, psi_total: f64, omega_i: f64, eta: f64) -> f64 {
+    ((2.0 * eta - 1.0) * psi_i - eta * psi_total) * omega_i
+}
+
+/// The shard maximising `P^ν_i`.
+///
+/// Tie-breaking (exact float equality): the shard with the smaller
+/// workload `ω_i` wins; remaining ties go to the lower index. The
+/// workload tie-break is what lets a brand-new account (`Ψ = 0`, all
+/// potentials zero) self-allocate to the least-loaded shard, the §VI
+/// "allocation of new accounts" benefit.
+///
+/// # Panics
+///
+/// Panics if the vectors are empty or mismatched.
+pub fn argmax_potential(psi: &[f64], omega: &[f64], eta: f64) -> usize {
+    assert_eq!(psi.len(), omega.len(), "psi and omega length mismatch");
+    assert!(!psi.is_empty(), "need at least one shard");
+    let psi_total: f64 = psi.iter().sum();
+    let mut best = 0usize;
+    let mut best_p = potential(psi[0], psi_total, omega[0], eta);
+    for i in 1..psi.len() {
+        let p = potential(psi[i], psi_total, omega[i], eta);
+        if p > best_p || (p == best_p && omega[i] < omega[best]) {
+            best = i;
+            best_p = p;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{argmin_cost, cost};
+    use proptest::prelude::*;
+
+    #[test]
+    fn potential_matches_formula() {
+        // eta=2: (3*psi_i - 2*psi_total) * omega_i
+        assert_eq!(potential(4.0, 6.0, 2.0, 2.0), 0.0);
+        assert_eq!(potential(6.0, 6.0, 2.0, 2.0), 12.0);
+        assert_eq!(potential(0.0, 6.0, 2.0, 2.0), -24.0);
+    }
+
+    #[test]
+    fn dominant_shard_wins_regardless_of_workload() {
+        // psi_i/psi > eta/(2eta-1): the client is glued to shard 0 even
+        // though it is the most loaded (§IV case analysis).
+        let psi = [9.0, 1.0, 1.0]; // 9/11 > 2/3
+        let omega = [100.0, 1.0, 1.0];
+        assert_eq!(argmax_potential(&psi, &omega, 2.0), 0);
+    }
+
+    #[test]
+    fn weak_interactions_follow_workload() {
+        // All weights negative: the least-loaded shard maximises P.
+        let psi = [2.0, 2.0, 2.0];
+        let omega = [9.0, 1.0, 9.0];
+        assert_eq!(argmax_potential(&psi, &omega, 2.0), 1);
+    }
+
+    #[test]
+    fn new_account_ties_break_to_lightest_shard() {
+        let psi = [0.0, 0.0, 0.0];
+        let omega = [5.0, 2.0, 8.0];
+        assert_eq!(argmax_potential(&psi, &omega, 2.0), 1);
+    }
+
+    #[test]
+    fn matches_cost_on_known_example() {
+        let psi = [3.0, 1.0];
+        let omega = [2.0, 4.0];
+        assert_eq!(argmax_potential(&psi, &omega, 2.0), argmin_cost(&psi, &omega, 2.0));
+    }
+
+    proptest! {
+        /// The §IV equivalence: sign(u_i − u_j) == sign(P_j − P_i) on
+        /// random instances (within float tolerance).
+        #[test]
+        fn prop_potential_equals_cost(
+            psi in proptest::collection::vec(0.0f64..50.0, 2..8),
+            omega_raw in proptest::collection::vec(0.1f64..100.0, 2..8),
+            eta in 1.0f64..10.0,
+        ) {
+            let k = psi.len().min(omega_raw.len());
+            let psi = &psi[..k];
+            let omega = &omega_raw[..k];
+            let psi_total: f64 = psi.iter().sum();
+            for i in 0..k {
+                for j in 0..k {
+                    let du = cost(psi, omega, eta, i) - cost(psi, omega, eta, j);
+                    let dp = potential(psi[j], psi_total, omega[j], eta)
+                        - potential(psi[i], psi_total, omega[i], eta);
+                    // u_i - u_j and P_j - P_i must agree in sign.
+                    prop_assert!(
+                        (du - dp).abs() < 1e-6 * (1.0 + du.abs().max(dp.abs())),
+                        "i={i} j={j}: du={du}, dp={dp}"
+                    );
+                }
+            }
+        }
+
+        /// argmax P == argmin u on random instances (with distinct
+        /// optima, to dodge tie-breaking differences).
+        #[test]
+        fn prop_argmax_matches_argmin(
+            psi in proptest::collection::vec(0.0f64..50.0, 4),
+            omega in proptest::collection::vec(0.1f64..100.0, 4),
+            eta in 1.0f64..10.0,
+        ) {
+            let best_p = argmax_potential(&psi, &omega, eta);
+            let best_u = argmin_cost(&psi, &omega, eta);
+            let u_p = cost(&psi, &omega, eta, best_p);
+            let u_u = cost(&psi, &omega, eta, best_u);
+            // The chosen shard's cost equals the optimum (they may differ
+            // as indices only under exact cost ties).
+            prop_assert!((u_p - u_u).abs() < 1e-6 * (1.0 + u_u.abs()));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Alternative balance measures.
+//!
+//! The paper reports the §V-A deviation statistic; these additional
+//! measures (Jain's fairness index and the max/mean peak factor) are
+//! scale-free, which makes runs at different trace volumes comparable —
+//! the ablation harness reports them alongside the paper's statistic.
+
+/// Jain's fairness index `(Σω)² / (k·Σω²)` — 1 for perfect balance,
+/// `1/k` when one shard carries everything. Returns 1 for an empty or
+/// all-zero vector (nothing to be unfair about).
+pub fn jain_index(workloads: &[f64]) -> f64 {
+    let k = workloads.len();
+    if k == 0 {
+        return 1.0;
+    }
+    let sum: f64 = workloads.iter().sum();
+    let sum_sq: f64 = workloads.iter().map(|w| w * w).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (k as f64 * sum_sq)
+}
+
+/// Peak factor `max(ω) / mean(ω)` — 1 for perfect balance, `k` when one
+/// shard carries everything. Returns 1 for an empty or all-zero vector.
+pub fn peak_factor(workloads: &[f64]) -> f64 {
+    let k = workloads.len();
+    if k == 0 {
+        return 1.0;
+    }
+    let mean = workloads.iter().sum::<f64>() / k as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    let max = workloads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    max / mean
+}
+
+/// Coefficient of variation `std(ω) / mean(ω)` — scale-free relative
+/// imbalance. Returns 0 for an empty or all-zero vector.
+pub fn coefficient_of_variation(workloads: &[f64]) -> f64 {
+    let k = workloads.len();
+    if k == 0 {
+        return 0.0;
+    }
+    let mean = workloads.iter().sum::<f64>() / k as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = workloads.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / k as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_balance() {
+        let w = [5.0, 5.0, 5.0, 5.0];
+        assert!((jain_index(&w) - 1.0).abs() < 1e-12);
+        assert!((peak_factor(&w) - 1.0).abs() < 1e-12);
+        assert_eq!(coefficient_of_variation(&w), 0.0);
+    }
+
+    #[test]
+    fn total_concentration() {
+        let w = [20.0, 0.0, 0.0, 0.0];
+        assert!((jain_index(&w) - 0.25).abs() < 1e-12);
+        assert!((peak_factor(&w) - 4.0).abs() < 1e-12);
+        assert!((coefficient_of_variation(&w) - 3.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(peak_factor(&[]), 1.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(peak_factor(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_is_scale_free() {
+        let w = [1.0, 2.0, 3.0];
+        let scaled: Vec<f64> = w.iter().map(|x| x * 1000.0).collect();
+        assert!((jain_index(&w) - jain_index(&scaled)).abs() < 1e-12);
+        assert!((peak_factor(&w) - peak_factor(&scaled)).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Bounds: 1/k ≤ Jain ≤ 1 and 1 ≤ peak ≤ k for positive loads.
+        #[test]
+        fn prop_bounds(w in proptest::collection::vec(0.001f64..1000.0, 1..16)) {
+            let k = w.len() as f64;
+            let j = jain_index(&w);
+            prop_assert!(j >= 1.0 / k - 1e-9 && j <= 1.0 + 1e-9, "jain {j}");
+            let p = peak_factor(&w);
+            prop_assert!(p >= 1.0 - 1e-9 && p <= k + 1e-9, "peak {p}");
+            prop_assert!(coefficient_of_variation(&w) >= 0.0);
+        }
+
+        /// More concentration ⇒ lower Jain, higher peak (move mass from
+        /// the min to the max).
+        #[test]
+        fn prop_concentration_monotonic(
+            mut w in proptest::collection::vec(1.0f64..100.0, 3..10),
+            shift in 0.1f64..0.9,
+        ) {
+            let before_jain = jain_index(&w);
+            let before_peak = peak_factor(&w);
+            // Move `shift` of the lightest shard's load to the heaviest.
+            let (min_i, _) = w.iter().enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+            let (max_i, _) = w.iter().enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+            if min_i != max_i {
+                let moved = w[min_i] * shift;
+                w[min_i] -= moved;
+                w[max_i] += moved;
+                prop_assert!(jain_index(&w) <= before_jain + 1e-9);
+                prop_assert!(peak_factor(&w) >= before_peak - 1e-9);
+            }
+        }
+    }
+}

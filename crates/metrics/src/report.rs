@@ -1,0 +1,267 @@
+//! Experiment reporting: per-epoch metric rows, aggregates, and plain-text
+//! tables shaped like the paper's.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::load::EpochLoad;
+
+/// The effectiveness metrics of a single evaluation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Cross-shard transaction ratio in `[0, 1]`.
+    pub cross_ratio: f64,
+    /// Workload deviation (§V-A formula).
+    pub workload_deviation: f64,
+    /// Normalised throughput `Λ/λ`.
+    pub normalized_throughput: f64,
+    /// Transactions offered this epoch.
+    pub total_txs: usize,
+    /// Migration requests committed this epoch (0 for static baselines).
+    pub migrations: usize,
+}
+
+impl EpochMetrics {
+    /// Extracts the metric row from a computed [`EpochLoad`].
+    pub fn from_load(load: &EpochLoad, migrations: usize) -> Self {
+        EpochMetrics {
+            cross_ratio: load.cross_ratio(),
+            workload_deviation: load.workload_deviation(),
+            normalized_throughput: load.normalized_throughput(),
+            total_txs: load.total_txs(),
+            migrations,
+        }
+    }
+}
+
+/// Mean metrics over a sequence of epochs (the paper reports per-epoch
+/// averages over 200 evaluation epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Mean cross-shard ratio.
+    pub cross_ratio: f64,
+    /// Mean workload deviation.
+    pub workload_deviation: f64,
+    /// Mean normalised throughput.
+    pub normalized_throughput: f64,
+    /// Total transactions across epochs.
+    pub total_txs: usize,
+    /// Total migrations across epochs.
+    pub migrations: usize,
+    /// Number of epochs aggregated.
+    pub epochs: usize,
+}
+
+impl Aggregate {
+    /// Averages a slice of epoch metrics; all-zero for an empty slice.
+    pub fn over(epochs: &[EpochMetrics]) -> Self {
+        let n = epochs.len();
+        if n == 0 {
+            return Aggregate::default();
+        }
+        let nf = n as f64;
+        Aggregate {
+            cross_ratio: epochs.iter().map(|e| e.cross_ratio).sum::<f64>() / nf,
+            workload_deviation: epochs.iter().map(|e| e.workload_deviation).sum::<f64>() / nf,
+            normalized_throughput: epochs
+                .iter()
+                .map(|e| e.normalized_throughput)
+                .sum::<f64>()
+                / nf,
+            total_txs: epochs.iter().map(|e| e.total_txs).sum(),
+            migrations: epochs.iter().map(|e| e.migrations).sum(),
+            epochs: n,
+        }
+    }
+}
+
+/// A minimal aligned text/markdown table builder used by the report
+/// binaries to print paper-style tables.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_metrics::TextTable;
+/// let mut t = TextTable::new(["Parameters", "Pilot", "Random"]);
+/// t.push_row(["k = 4", "24.07%", "74.95%"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("Pilot"));
+/// assert!(rendered.contains("24.07%"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the header width with empty headers.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        while self.headers.len() < row.len() {
+            self.headers.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push('|');
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push_str("\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for c in 0..self.headers.len() {
+                let cell = row.get(c).map(String::as_str).unwrap_or("");
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    /// Renders as an aligned plain-text table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                if c < cols {
+                    widths[c] = widths[c].max(cell.len());
+                }
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for c in 0..cols {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                write!(f, "{cell:<width$}", width = widths[c])?;
+                if c + 1 < cols {
+                    write!(f, "  ")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadParams;
+    use mosaic_types::{AccountId, BlockHeight, ShardId, Transaction, TxId};
+
+    #[test]
+    fn epoch_metrics_from_load() {
+        let txs = [Transaction::new(
+            TxId::new(0),
+            AccountId::new(0),
+            AccountId::new(1),
+            BlockHeight::new(0),
+        )];
+        let load = EpochLoad::compute(
+            &txs,
+            LoadParams {
+                shards: 2,
+                eta: 2.0,
+                lambda: 5.0,
+            },
+            |a| ShardId::new((a.as_u64() % 2) as u16),
+        );
+        let m = EpochMetrics::from_load(&load, 3);
+        assert_eq!(m.cross_ratio, 1.0);
+        assert_eq!(m.total_txs, 1);
+        assert_eq!(m.migrations, 3);
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let rows = vec![
+            EpochMetrics {
+                cross_ratio: 0.2,
+                workload_deviation: 0.5,
+                normalized_throughput: 4.0,
+                total_txs: 100,
+                migrations: 5,
+            },
+            EpochMetrics {
+                cross_ratio: 0.4,
+                workload_deviation: 0.7,
+                normalized_throughput: 6.0,
+                total_txs: 200,
+                migrations: 7,
+            },
+        ];
+        let agg = Aggregate::over(&rows);
+        assert!((agg.cross_ratio - 0.3).abs() < 1e-12);
+        assert!((agg.workload_deviation - 0.6).abs() < 1e-12);
+        assert!((agg.normalized_throughput - 5.0).abs() < 1e-12);
+        assert_eq!(agg.total_txs, 300);
+        assert_eq!(agg.migrations, 12);
+        assert_eq!(agg.epochs, 2);
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_default() {
+        assert_eq!(Aggregate::over(&[]), Aggregate::default());
+    }
+
+    #[test]
+    fn table_alignment_and_markdown() {
+        let mut t = TextTable::new(["A", "Bee"]);
+        t.push_row(["longvalue", "x"]);
+        t.push_row(["s"]);
+        let text = t.to_string();
+        assert!(text.contains("longvalue"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("| A | Bee |"));
+        assert!(md.contains("|---|---|"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn table_extends_headers_for_long_rows() {
+        let mut t = TextTable::new(["only"]);
+        t.push_row(["a", "b", "c"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b | c |"));
+    }
+}

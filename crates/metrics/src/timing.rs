@@ -1,0 +1,103 @@
+//! Execution-time measurement helpers (Table IV, top rows).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and the wall-clock duration.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_metrics::timing::time_it;
+/// let (sum, elapsed) = time_it(|| (0..1000u64).sum::<u64>());
+/// assert_eq!(sum, 499500);
+/// assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
+/// ```
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Online mean/min/max accumulator for durations, used to report the
+/// per-epoch average runtimes of Table IV.
+#[derive(Debug, Clone, Default)]
+pub struct DurationStats {
+    count: u64,
+    total: Duration,
+    min: Option<Duration>,
+    max: Option<Duration>,
+}
+
+impl DurationStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = Some(self.max.map_or(d, |m| m.max(d)));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Mean observation, zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<Duration> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<Duration> {
+        self.max
+    }
+
+    /// Mean in seconds as `f64` — the unit of Table IV.
+    pub fn mean_seconds(&self) -> f64 {
+        self.mean().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, d) = time_it(|| 42);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_stats_accumulate() {
+        let mut s = DurationStats::new();
+        assert_eq!(s.mean(), Duration::ZERO);
+        s.record(Duration::from_millis(10));
+        s.record(Duration::from_millis(30));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Duration::from_millis(20));
+        assert_eq!(s.min(), Some(Duration::from_millis(10)));
+        assert_eq!(s.max(), Some(Duration::from_millis(30)));
+        assert!((s.mean_seconds() - 0.02).abs() < 1e-9);
+    }
+}

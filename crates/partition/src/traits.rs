@@ -1,0 +1,46 @@
+//! The interface of a miner-driven global allocation algorithm.
+
+use mosaic_txgraph::TxGraph;
+use mosaic_types::AccountShardMap;
+
+/// A miner-driven allocation algorithm: given the (historical) transaction
+/// graph and a shard count, produce a full account-shard mapping ϕ.
+///
+/// This is exactly the computation the paper's Table VI labels "global
+/// optimization" with "redundant computation results ϕ(A)": every miner
+/// runs it over the whole graph. Accounts absent from the graph resolve
+/// through the map's hash-based default rule — the paper's treatment of
+/// new accounts for the graph-based baselines ("these accounts are
+/// randomly allocated").
+pub trait GlobalAllocator {
+    /// Human-readable name used in reports ("Metis", "Random", …).
+    fn name(&self) -> &'static str;
+
+    /// Computes an allocation of every account in `graph` over `k` shards.
+    fn allocate(&self, graph: &TxGraph, k: u16) -> AccountShardMap;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_types::ShardId;
+
+    /// Object safety: allocators must be usable as trait objects (the
+    /// experiment runner stores them as `Box<dyn GlobalAllocator>`).
+    #[test]
+    fn trait_is_object_safe() {
+        struct Dummy;
+        impl GlobalAllocator for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn allocate(&self, _graph: &TxGraph, k: u16) -> AccountShardMap {
+                AccountShardMap::new(k)
+            }
+        }
+        let boxed: Box<dyn GlobalAllocator> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+        let phi = boxed.allocate(&TxGraph::from_weighted_edges([], []), 2);
+        assert!(phi.shard_of(mosaic_types::AccountId::new(0)) < ShardId::new(2));
+    }
+}

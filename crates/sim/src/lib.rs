@@ -1,0 +1,39 @@
+//! End-to-end experiment runner reproducing the Mosaic paper's
+//! evaluation (§V).
+//!
+//! The crate wires every other crate together:
+//!
+//! * [`Strategy`] — the five allocation strategies under test: Mosaic
+//!   (client-driven Pilot), G-TxAllo, A-TxAllo, Metis, and hash-based
+//!   Random;
+//! * [`Scale`] — workload/epoch presets (`quick` for tests, `default`
+//!   for commodity-hardware runs, `full` for the paper's 200-epoch
+//!   protocol);
+//! * [`runner`] — the 90/10 train–eval protocol: initial allocation on
+//!   the training prefix, then per-epoch allocation updates and metric
+//!   collection over the evaluation epochs;
+//! * [`experiments`] — one function per paper table/figure (Tables I–VI,
+//!   Figure 1), each returning a [`mosaic_metrics::TextTable`] shaped
+//!   like the original.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mosaic_sim::{experiments, Scale};
+//!
+//! let cells = experiments::effectiveness_grid(&Scale::quick());
+//! println!("{}", experiments::table1(&cells));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod experiments;
+pub mod radar;
+pub mod runner;
+pub mod scale;
+pub mod strategy;
+
+pub use runner::{ExperimentConfig, ExperimentResult};
+pub use scale::Scale;
+pub use strategy::Strategy;

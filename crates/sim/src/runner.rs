@@ -1,0 +1,429 @@
+//! The 90/10 train–eval experiment protocol (§V-A).
+//!
+//! "The first 90% of the dataset is used for the initial allocation,
+//! while the remaining 10% is reserved for evaluation. … Evaluation
+//! metrics are calculated using the data from the current epoch based on
+//! the allocation results computed at the end of the preceding epoch."
+
+use mosaic_chain::Ledger;
+use mosaic_core::policy::PilotPolicy;
+use mosaic_core::{ClientPolicy, MosaicFramework};
+use mosaic_metrics::data_size::miner_input_bytes;
+use mosaic_metrics::timing::{time_it, DurationStats};
+use mosaic_metrics::{Aggregate, EpochMetrics};
+use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
+use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
+use mosaic_txgraph::GraphBuilder;
+use mosaic_types::{AccountShardMap, BlockHeight, SystemParams, Transaction};
+use mosaic_workload::TransactionTrace;
+
+use crate::strategy::Strategy;
+
+/// Configuration of one experiment cell (one strategy × one parameter
+/// set × one trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// System parameters (k, η, τ, λ policy, β).
+    pub params: SystemParams,
+    /// The allocation strategy under test.
+    pub strategy: Strategy,
+    /// Fraction of trace *blocks* used for initial allocation (paper:
+    /// 0.9).
+    pub train_fraction: f64,
+    /// Maximum evaluation epochs to run (paper: 200).
+    pub eval_epochs: usize,
+    /// Miner population size.
+    pub miner_count: usize,
+    /// Migration-commit cap override (`None` = the paper's `λ` bound).
+    /// Only meaningful for the client-driven strategy.
+    pub migration_capacity: Option<usize>,
+}
+
+impl ExperimentConfig {
+    /// Builds a config with the paper's protocol defaults (90/10 split)
+    /// and `4k` miners.
+    pub fn new(params: SystemParams, strategy: Strategy, eval_epochs: usize) -> Self {
+        ExperimentConfig {
+            params,
+            strategy,
+            train_fraction: 0.9,
+            eval_epochs,
+            miner_count: usize::from(params.shards()) * 4,
+            migration_capacity: None,
+        }
+    }
+}
+
+/// The measured outcome of one experiment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// The strategy that produced this result.
+    pub strategy: Strategy,
+    /// The parameters it ran under.
+    pub params: SystemParams,
+    /// Per-epoch effectiveness metrics.
+    pub per_epoch: Vec<EpochMetrics>,
+    /// Averages over the evaluation epochs.
+    pub aggregate: Aggregate,
+    /// Wall-clock seconds of the initial (training-prefix) allocation.
+    pub init_seconds: f64,
+    /// Mean per-epoch allocation runtime in seconds. For miner-driven
+    /// strategies this is the full recomputation; for Mosaic it is the
+    /// mean *per-client* Pilot execution time — the quantity Table IV
+    /// compares.
+    pub mean_alloc_seconds: f64,
+    /// Mean bytes of input per allocation run (per client for Mosaic).
+    pub mean_input_bytes: f64,
+    /// Total account moves over the evaluation (committed migration
+    /// requests for Mosaic; allocation-diff moves for miner-driven).
+    pub total_migrations: usize,
+}
+
+impl ExperimentResult {
+    /// Serialises the per-epoch series as CSV
+    /// (`epoch,cross_ratio,workload_deviation,normalized_throughput,txs,migrations`),
+    /// ready for external plotting of the paper's time series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,cross_ratio,workload_deviation,normalized_throughput,txs,migrations\n",
+        );
+        for (i, m) in self.per_epoch.iter().enumerate() {
+            out.push_str(&format!(
+                "{i},{:.6},{:.6},{:.6},{},{}\n",
+                m.cross_ratio,
+                m.workload_deviation,
+                m.normalized_throughput,
+                m.total_txs,
+                m.migrations
+            ));
+        }
+        out
+    }
+}
+
+/// Runs one experiment cell over `trace`.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or the configuration is inconsistent
+/// (mismatched shard counts cannot occur — the ledger is built from
+/// `config.params`).
+pub fn run(config: &ExperimentConfig, trace: &TransactionTrace) -> ExperimentResult {
+    assert!(!trace.is_empty(), "experiment needs a non-empty trace");
+    if config.strategy == Strategy::Mosaic {
+        return run_mosaic(config, trace, PilotPolicy);
+    }
+    let params = config.params;
+    let k = params.shards();
+    let tau = params.tau();
+
+    let (train, _eval) = trace.split_at_fraction(config.train_fraction);
+    let max_block = trace.max_block().expect("non-empty trace");
+    let cut_block = BlockHeight::new(
+        (((max_block.as_u64() + 1) as f64) * config.train_fraction).floor() as u64,
+    );
+
+    // Historical graph of the training prefix; extended epoch by epoch
+    // for the full-history strategies.
+    let mut builder = GraphBuilder::new();
+    builder.add_transactions(train);
+
+    let txallo_cfg = TxAlloConfig::with_eta(params.eta());
+    let gtxallo = GTxAllo::new(txallo_cfg);
+    let atxallo = ATxAllo::new(txallo_cfg);
+    let metis = MetisPartitioner::default();
+    let hash = HashAllocator::chainspace();
+
+    // Initial allocation (§V-B: Pilot's ϕ is initialised with TxAllo's
+    // result; baselines use their own; hash is rule-only).
+    let (initial_phi, init_time) = {
+        let graph = builder.build();
+        match config.strategy {
+            Strategy::Random => time_it(|| hash.allocate(&graph, k)),
+            Strategy::Metis => time_it(|| metis.allocate(&graph, k)),
+            Strategy::GTxAllo | Strategy::ATxAllo | Strategy::Mosaic => {
+                time_it(|| gtxallo.allocate(&graph, k))
+            }
+        }
+    };
+
+    let mut ledger =
+        Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
+
+    // A-TxAllo's first "recent window" is the last τ blocks of training.
+    let mut prev_window: Vec<Transaction> = trace
+        .block_range(
+            BlockHeight::new(cut_block.as_u64().saturating_sub(u64::from(tau))),
+            cut_block,
+        )
+        .to_vec();
+    let mut history_txs = train.len();
+
+    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
+    let mut alloc_stats = DurationStats::new();
+    let mut input_bytes_sum = 0.0f64;
+    let mut input_samples = 0usize;
+    let mut total_migrations = 0usize;
+
+    for window in trace
+        .epoch_windows(cut_block, tau)
+        .take(config.eval_epochs)
+    {
+        let (outcome, migrations) = match config.strategy {
+            Strategy::Random => {
+                alloc_stats.record(std::time::Duration::ZERO);
+                (ledger.process_epoch(window), 0)
+            }
+            Strategy::Metis | Strategy::GTxAllo => {
+                let (phi, t) = if config.strategy == Strategy::Metis {
+                    time_it(|| {
+                        let graph = builder.build();
+                        metis.allocate(&graph, k)
+                    })
+                } else {
+                    time_it(|| {
+                        let graph = builder.build();
+                        gtxallo.allocate(&graph, k)
+                    })
+                };
+                alloc_stats.record(t);
+                input_bytes_sum += miner_input_bytes(history_txs) as f64;
+                input_samples += 1;
+                let moved = allocation_diff(ledger.phi(), &phi);
+                ledger.set_allocation(phi).expect("same shard count");
+                (ledger.process_epoch(window), moved)
+            }
+            Strategy::ATxAllo => {
+                let mut phi = ledger.phi().clone();
+                let (moved, t) = time_it(|| atxallo.update(&mut phi, &prev_window));
+                alloc_stats.record(t);
+                input_bytes_sum += miner_input_bytes(prev_window.len()) as f64;
+                input_samples += 1;
+                ledger.set_allocation(phi).expect("same shard count");
+                (ledger.process_epoch(window), moved)
+            }
+            Strategy::Mosaic => unreachable!("handled by run_mosaic"),
+        };
+
+        total_migrations += migrations;
+        per_epoch.push(EpochMetrics::from_load(&outcome.load, migrations));
+
+        // The processed window becomes history for the next allocation.
+        builder.add_transactions(window);
+        history_txs += window.len();
+        prev_window = window.to_vec();
+    }
+
+    ExperimentResult {
+        strategy: config.strategy,
+        params,
+        aggregate: Aggregate::over(&per_epoch),
+        per_epoch,
+        init_seconds: init_time.as_secs_f64(),
+        mean_alloc_seconds: alloc_stats.mean_seconds(),
+        mean_input_bytes: if input_samples == 0 {
+            0.0
+        } else {
+            input_bytes_sum / input_samples as f64
+        },
+        total_migrations,
+    }
+}
+
+/// Runs the client-driven (Mosaic) protocol with an arbitrary client
+/// policy — [`PilotPolicy`] reproduces the paper; the other policies in
+/// [`mosaic_core::policy`] ablate Pilot's two decision signals.
+///
+/// The initial ϕ is G-TxAllo's result on the training prefix (§V-B),
+/// client histories are preloaded from the training transactions, and
+/// each evaluation epoch follows the §V-A protocol via
+/// [`MosaicFramework::run_epoch`].
+pub fn run_mosaic<P: ClientPolicy>(
+    config: &ExperimentConfig,
+    trace: &TransactionTrace,
+    policy: P,
+) -> ExperimentResult {
+    assert!(!trace.is_empty(), "experiment needs a non-empty trace");
+    let params = config.params;
+    let k = params.shards();
+    let tau = params.tau();
+
+    let (train, _eval) = trace.split_at_fraction(config.train_fraction);
+    let max_block = trace.max_block().expect("non-empty trace");
+    let cut_block = BlockHeight::new(
+        (((max_block.as_u64() + 1) as f64) * config.train_fraction).floor() as u64,
+    );
+
+    let (initial_phi, init_time) = {
+        let mut builder = GraphBuilder::new();
+        builder.add_transactions(train);
+        let graph = builder.build();
+        let gtxallo = GTxAllo::new(TxAlloConfig::with_eta(params.eta()));
+        time_it(|| gtxallo.allocate(&graph, k))
+    };
+
+    let mut ledger =
+        Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
+    ledger.set_migration_capacity(config.migration_capacity);
+    let mut framework = MosaicFramework::with_policy(params, policy);
+    framework.observe_epoch(train);
+
+    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
+    let mut alloc_stats = DurationStats::new();
+    let mut input_bytes_sum = 0.0f64;
+    let mut input_samples = 0usize;
+    let mut total_migrations = 0usize;
+
+    for window in trace
+        .epoch_windows(cut_block, tau)
+        .take(config.eval_epochs)
+    {
+        let (outcome, report) = framework.run_epoch(&mut ledger, window);
+        alloc_stats.record(report.mean_decision_time);
+        input_bytes_sum += report.mean_input_bytes;
+        input_samples += 1;
+        let committed = outcome.committed.len();
+        total_migrations += committed;
+        per_epoch.push(EpochMetrics::from_load(&outcome.load, committed));
+    }
+
+    ExperimentResult {
+        strategy: Strategy::Mosaic,
+        params,
+        aggregate: Aggregate::over(&per_epoch),
+        per_epoch,
+        init_seconds: init_time.as_secs_f64(),
+        mean_alloc_seconds: alloc_stats.mean_seconds(),
+        mean_input_bytes: if input_samples == 0 {
+            0.0
+        } else {
+            input_bytes_sum / input_samples as f64
+        },
+        total_migrations,
+    }
+}
+
+/// Counts accounts whose shard differs between `old` and `new` (the
+/// implicit migrations a miner-driven update causes).
+fn allocation_diff(old: &AccountShardMap, new: &AccountShardMap) -> usize {
+    new.iter()
+        .filter(|&(account, shard)| old.shard_of(account) != shard)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use mosaic_workload::generate;
+
+    fn quick_trace() -> TransactionTrace {
+        generate(&Scale::quick().workload).into_trace()
+    }
+
+    fn quick_config(strategy: Strategy, k: u16) -> ExperimentConfig {
+        let scale = Scale::quick();
+        let params = SystemParams::builder()
+            .shards(k)
+            .eta(2.0)
+            .tau(scale.tau)
+            .build()
+            .unwrap();
+        ExperimentConfig::new(params, strategy, scale.eval_epochs)
+    }
+
+    #[test]
+    fn all_strategies_complete_on_quick_scale() {
+        let trace = quick_trace();
+        for strategy in Strategy::ALL {
+            let result = run(&quick_config(strategy, 4), &trace);
+            assert_eq!(result.per_epoch.len(), Scale::quick().eval_epochs);
+            assert!(result.aggregate.cross_ratio >= 0.0);
+            assert!(result.aggregate.cross_ratio <= 1.0);
+            assert!(
+                result.aggregate.normalized_throughput > 0.0,
+                "{strategy} throughput zero"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_aware_strategies_beat_random_on_cross_ratio() {
+        let trace = quick_trace();
+        let random = run(&quick_config(Strategy::Random, 4), &trace);
+        for strategy in [Strategy::Mosaic, Strategy::GTxAllo, Strategy::Metis] {
+            let result = run(&quick_config(strategy, 4), &trace);
+            assert!(
+                result.aggregate.cross_ratio < random.aggregate.cross_ratio,
+                "{strategy}: {} !< {}",
+                result.aggregate.cross_ratio,
+                random.aggregate.cross_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn mosaic_is_orders_of_magnitude_faster_per_decision() {
+        let trace = quick_trace();
+        let mosaic = run(&quick_config(Strategy::Mosaic, 4), &trace);
+        let gtxallo = run(&quick_config(Strategy::GTxAllo, 4), &trace);
+        assert!(
+            mosaic.mean_alloc_seconds * 100.0 < gtxallo.mean_alloc_seconds,
+            "pilot {} vs g-txallo {}",
+            mosaic.mean_alloc_seconds,
+            gtxallo.mean_alloc_seconds
+        );
+        assert!(mosaic.mean_input_bytes * 10.0 < gtxallo.mean_input_bytes);
+    }
+
+    #[test]
+    fn random_never_migrates() {
+        let trace = quick_trace();
+        let result = run(&quick_config(Strategy::Random, 4), &trace);
+        assert_eq!(result.total_migrations, 0);
+        assert_eq!(result.mean_alloc_seconds, 0.0);
+    }
+
+    #[test]
+    fn mosaic_migrations_bounded_by_lambda_per_epoch() {
+        let trace = quick_trace();
+        let result = run(&quick_config(Strategy::Mosaic, 4), &trace);
+        let scale = Scale::quick();
+        // λ = |T_epoch|/k; epochs have tau × txs_per_block transactions.
+        let lambda =
+            (u64::from(scale.tau) as usize * scale.workload.txs_per_block) as f64 / 4.0;
+        for epoch in &result.per_epoch {
+            assert!(
+                (epoch.migrations as f64) <= lambda + 1.0,
+                "epoch committed {} > lambda {lambda}",
+                epoch.migrations
+            );
+        }
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_epoch() {
+        let trace = quick_trace();
+        let result = run(&quick_config(Strategy::Random, 4), &trace);
+        let csv = result.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), result.per_epoch.len() + 1);
+        assert!(lines[0].starts_with("epoch,cross_ratio"));
+        // Every data row parses back.
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 6);
+            assert!(fields[1].parse::<f64>().is_ok());
+            assert!(fields[4].parse::<usize>().is_ok());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = quick_trace();
+        let a = run(&quick_config(Strategy::Mosaic, 4), &trace);
+        let b = run(&quick_config(Strategy::Mosaic, 4), &trace);
+        assert_eq!(a.per_epoch, b.per_epoch);
+        assert_eq!(a.total_migrations, b.total_migrations);
+    }
+}

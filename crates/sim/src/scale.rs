@@ -1,0 +1,107 @@
+//! Experiment scale presets.
+//!
+//! The paper's full protocol (600,000 blocks, ~91 M transactions, 200
+//! evaluation epochs of `τ = 300` blocks) is out of reach for a laptop
+//! run of every table cell, so experiments take a [`Scale`]:
+//!
+//! * [`Scale::quick`] — seconds; used by tests and examples;
+//! * [`Scale::default_scale`] — minutes; the recommended reproduction
+//!   scale (~1.5 M transactions, 20 evaluation epochs);
+//! * [`Scale::full`] — the paper's epoch count (200 evaluation epochs of
+//!   `τ = 300`); hours with the graph-based baselines.
+//!
+//! Binaries read `MOSAIC_SCALE=quick|default|full` from the environment.
+
+use mosaic_workload::WorkloadConfig;
+
+/// A bundled workload volume + evaluation length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// The synthetic workload to generate.
+    pub workload: WorkloadConfig,
+    /// Epoch length `τ` in blocks.
+    pub tau: u32,
+    /// Number of evaluation epochs to run (the paper uses 200).
+    pub eval_epochs: usize,
+    /// Human-readable label for reports.
+    pub label: &'static str,
+}
+
+impl Scale {
+    /// Test scale: 2,000 blocks × 8 txs, τ = 50, 4 evaluation epochs.
+    pub fn quick() -> Self {
+        Scale {
+            workload: WorkloadConfig::small_test(0xACC0),
+            tau: 50,
+            eval_epochs: 4,
+            label: "quick",
+        }
+    }
+
+    /// Reproduction scale: 60,000 blocks × 25 txs (~1.5 M transactions,
+    /// ~60 k accounts), τ = 300, 20 evaluation epochs.
+    pub fn default_scale() -> Self {
+        Scale {
+            workload: WorkloadConfig::paper_scaled(0xACC0),
+            tau: 300,
+            eval_epochs: 20,
+            label: "default",
+        }
+    }
+
+    /// Paper-protocol scale: 600,000 blocks × 25 txs (~15 M
+    /// transactions), τ = 300, 200 evaluation epochs. Expect hours.
+    pub fn full() -> Self {
+        Scale {
+            workload: WorkloadConfig::paper_scaled(0xACC0)
+                .with_blocks(600_000)
+                .with_accounts(400_000),
+            tau: 300,
+            eval_epochs: 200,
+            label: "full",
+        }
+    }
+
+    /// Resolves a scale from the `MOSAIC_SCALE` environment variable;
+    /// unknown or missing values fall back to [`Scale::default_scale`].
+    pub fn from_env() -> Self {
+        match std::env::var("MOSAIC_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            Ok("full") => Scale::full(),
+            _ => Scale::default_scale(),
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for scale in [Scale::quick(), Scale::default_scale(), Scale::full()] {
+            scale.workload.validate();
+            assert!(scale.tau > 0);
+            assert!(scale.eval_epochs > 0);
+            // The evaluation needs eval_epochs × τ blocks inside the last
+            // 10% of the trace... or at least one full epoch.
+            let eval_blocks = scale.workload.blocks / 10;
+            assert!(
+                eval_blocks >= u64::from(scale.tau),
+                "{}: eval window shorter than one epoch",
+                scale.label
+            );
+        }
+    }
+
+    #[test]
+    fn quick_is_smaller_than_default() {
+        assert!(Scale::quick().workload.total_txs() < Scale::default_scale().workload.total_txs());
+    }
+}

@@ -1,0 +1,81 @@
+//! The allocation strategies under evaluation.
+
+use std::fmt;
+
+/// One of the five allocation strategies the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Client-driven: Mosaic framework with every client running Pilot.
+    Mosaic,
+    /// Miner-driven: G-TxAllo recomputed on the full history each epoch.
+    GTxAllo,
+    /// Miner-driven: A-TxAllo incremental update on the recent window.
+    ATxAllo,
+    /// Miner-driven: multilevel Metis-like partitioning of the full
+    /// history each epoch.
+    Metis,
+    /// Static hash-based allocation (`SHA256(address) mod k`).
+    Random,
+}
+
+impl Strategy {
+    /// All strategies, in the report order of the paper's tables.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Mosaic,
+        Strategy::GTxAllo,
+        Strategy::ATxAllo,
+        Strategy::Metis,
+        Strategy::Random,
+    ];
+
+    /// The display name used in tables (the paper labels Mosaic's
+    /// measurements "Pilot").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Mosaic => "Pilot",
+            Strategy::GTxAllo => "G-TxAllo",
+            Strategy::ATxAllo => "A-TxAllo",
+            Strategy::Metis => "Metis",
+            Strategy::Random => "Random",
+        }
+    }
+
+    /// `true` for the client-driven strategy (allocation via migration
+    /// requests on the beacon chain rather than miner recomputation).
+    pub fn is_client_driven(&self) -> bool {
+        matches!(self, Strategy::Mosaic)
+    }
+
+    /// `true` for strategies that never react to transaction patterns.
+    pub fn is_static(&self) -> bool {
+        matches!(self, Strategy::Random)
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Strategy::ALL.len());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Strategy::Mosaic.is_client_driven());
+        assert!(!Strategy::GTxAllo.is_client_driven());
+        assert!(Strategy::Random.is_static());
+        assert!(!Strategy::Mosaic.is_static());
+        assert_eq!(Strategy::Mosaic.to_string(), "Pilot");
+    }
+}

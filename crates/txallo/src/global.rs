@@ -1,0 +1,364 @@
+//! G-TxAllo: the complete (global) deterministic allocation algorithm.
+
+use mosaic_partition::GlobalAllocator;
+use mosaic_txgraph::{NodeId, TxGraph};
+use mosaic_types::hash::FnvHashMap;
+use mosaic_types::{AccountShardMap, ShardId};
+
+use crate::config::TxAlloConfig;
+use crate::objective::AlloObjective;
+
+/// The global TxAllo algorithm.
+///
+/// Following the published TxAllo design, allocation is computed in three
+/// deterministic phases over the *full historical graph*:
+///
+/// 1. **Community detection** — greedy label propagation driven by the
+///    co-location gain: every account repeatedly joins the neighbouring
+///    community it interacts with most, subject to a community-weight cap
+///    (a community larger than one shard's capacity could never be
+///    balanced later). Busiest accounts move first; iteration stops at a
+///    fixed point.
+/// 2. **Community-to-shard mapping** — longest-processing-time (LPT)
+///    bin packing: communities in descending weight order land on the
+///    currently lightest shard, which bounds load imbalance.
+/// 3. **Account-level refinement** — single-account moves with the best
+///    positive [`AlloObjective::move_delta`] polish the boundary, trading
+///    residual cross-shard edges against overload.
+///
+/// Everything is order-deterministic: every miner computes the same ϕ
+/// without extra consensus, as the Mosaic paper requires of miner-driven
+/// methods. Complexity is `O(rounds · (Σ_v deg(v) + n·k))` — linear in
+/// the full ledger, the cost Table VI charges as `O(|T|)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GTxAllo {
+    config: TxAlloConfig,
+}
+
+impl GTxAllo {
+    /// Creates the algorithm with an explicit config.
+    pub fn new(config: TxAlloConfig) -> Self {
+        GTxAllo { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TxAlloConfig {
+        self.config
+    }
+
+    /// Computes the partition vector (one part per graph node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn partition(&self, graph: &TxGraph, k: u16) -> Vec<u16> {
+        assert!(k > 0, "need at least one shard");
+        let n = graph.node_count();
+        let kk = usize::from(k);
+        if n == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return vec![0; n];
+        }
+
+        // Weighted degree = the account's workload contribution.
+        let dv: Vec<f64> = graph
+            .nodes()
+            .map(|v| graph.node_weight(v).max(1) as f64)
+            .collect();
+        let total: f64 = dv.iter().sum();
+        let capacity = self.config.capacity_slack * total / f64::from(k);
+        let objective = AlloObjective::new(self.config.eta, capacity);
+
+        // Busiest accounts first (shared by phases 1 and 3).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            dv[b as usize]
+                .partial_cmp(&dv[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        // --- Phase 1: community detection ---------------------------------
+        let communities = detect_communities(graph, &dv, &order, capacity, self.config.rounds);
+
+        // --- Phase 2: LPT community-to-shard mapping -----------------------
+        let mut parts = map_communities_lpt(&communities, &dv, k);
+
+        // --- Phase 3: account-level refinement -----------------------------
+        let mut load = vec![0.0f64; kk];
+        for v in 0..n {
+            load[usize::from(parts[v])] += dv[v];
+        }
+        let mut conn = vec![0.0f64; kk];
+        for _ in 0..self.config.rounds {
+            let mut moves = 0usize;
+            for &v in &order {
+                let v = v as usize;
+                let cur = usize::from(parts[v]);
+                conn.iter_mut().for_each(|c| *c = 0.0);
+                for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+                    conn[usize::from(parts[nb.index()])] += w as f64;
+                }
+                let mut best: Option<(usize, f64)> = None;
+                for p in 0..kk {
+                    if p == cur {
+                        continue;
+                    }
+                    let delta =
+                        objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
+                    if delta > 1e-9 && best.map_or(true, |(_, bd)| delta > bd) {
+                        best = Some((p, delta));
+                    }
+                }
+                if let Some((p, _)) = best {
+                    load[cur] -= dv[v];
+                    load[p] += dv[v];
+                    parts[v] = p as u16;
+                    moves += 1;
+                }
+            }
+            if moves == 0 {
+                break;
+            }
+        }
+
+        parts
+    }
+}
+
+/// Greedy capped label propagation. Returns a community id per node.
+fn detect_communities(
+    graph: &TxGraph,
+    dv: &[f64],
+    order: &[u32],
+    capacity: f64,
+    rounds: usize,
+) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut comm: Vec<u32> = (0..n as u32).collect();
+    let mut comm_weight: Vec<f64> = dv.to_vec();
+    let mut conn: FnvHashMap<u32, f64> = FnvHashMap::default();
+
+    for _ in 0..rounds.max(1) {
+        let mut moves = 0usize;
+        for &v in order {
+            let v = v as usize;
+            let own = comm[v];
+            conn.clear();
+            for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+                *conn.entry(comm[nb.index()]).or_default() += w as f64;
+            }
+            let own_conn = conn.get(&own).copied().unwrap_or(0.0);
+            // Best target: max connectivity, fits under the cap; ties to
+            // the smaller community id for determinism.
+            let mut best: Option<(u32, f64)> = None;
+            for (&c, &cw) in &conn {
+                if c == own || comm_weight[c as usize] + dv[v] > capacity {
+                    continue;
+                }
+                match best {
+                    Some((bc, bw)) if cw < bw || (cw == bw && c >= bc) => {}
+                    _ => best = Some((c, cw)),
+                }
+            }
+            if let Some((c, cw)) = best {
+                if cw > own_conn + 1e-9 {
+                    comm_weight[own as usize] -= dv[v];
+                    comm_weight[c as usize] += dv[v];
+                    comm[v] = c;
+                    moves += 1;
+                }
+            }
+        }
+        if moves == 0 {
+            break;
+        }
+    }
+    comm
+}
+
+/// LPT bin packing of communities onto `k` shards: heaviest community to
+/// the currently lightest shard.
+fn map_communities_lpt(communities: &[u32], dv: &[f64], k: u16) -> Vec<u16> {
+    let n = communities.len();
+    let kk = usize::from(k);
+    // Aggregate community weights.
+    let mut weight: FnvHashMap<u32, f64> = FnvHashMap::default();
+    for v in 0..n {
+        *weight.entry(communities[v]).or_default() += dv[v];
+    }
+    let mut by_weight: Vec<(u32, f64)> = weight.into_iter().collect();
+    by_weight.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut shard_load = vec![0.0f64; kk];
+    let mut comm_shard: FnvHashMap<u32, u16> = FnvHashMap::default();
+    for (c, w) in by_weight {
+        let lightest = (0..kk)
+            .min_by(|&a, &b| {
+                shard_load[a]
+                    .partial_cmp(&shard_load[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("k > 0");
+        shard_load[lightest] += w;
+        comm_shard.insert(c, lightest as u16);
+    }
+
+    (0..n).map(|v| comm_shard[&communities[v]]).collect()
+}
+
+impl GlobalAllocator for GTxAllo {
+    fn name(&self) -> &'static str {
+        "G-TxAllo"
+    }
+
+    fn allocate(&self, graph: &TxGraph, k: u16) -> AccountShardMap {
+        let parts = self.partition(graph, k);
+        let mut phi = AccountShardMap::new(k);
+        for node in graph.nodes() {
+            phi.assign(graph.account_of(node), ShardId::new(parts[node.index()]))
+                .expect("partition produced in-range shard");
+        }
+        phi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_txgraph::{analysis, GraphBuilder};
+    use mosaic_types::{AccountId, DefaultRule};
+
+    fn acct(i: u64) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn two_cliques() -> TxGraph {
+        let mut b = GraphBuilder::new();
+        for base in [0u64, 10] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.add_edge(acct(base + i), acct(base + j), 10);
+                }
+            }
+        }
+        b.add_edge(acct(0), acct(10), 1);
+        b.build()
+    }
+
+    #[test]
+    fn colocates_cliques() {
+        let g = two_cliques();
+        let parts = GTxAllo::default().partition(&g, 2);
+        assert_eq!(analysis::edge_cut(&g, &parts), 1);
+        // And balanced: one clique per shard.
+        let w = analysis::part_weights(&g, &parts, 2);
+        assert!((w[0] as i64 - w[1] as i64).abs() <= 2, "{w:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_cliques();
+        let a = GTxAllo::default().partition(&g, 4);
+        let b = GTxAllo::default().partition(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn caps_community_growth() {
+        // One giant clique: without the cap it would form one community
+        // heavier than any shard could hold. With the cap, LPT spreads
+        // the (capped) communities over both shards.
+        let mut b = GraphBuilder::new();
+        for i in 0..30u64 {
+            for j in (i + 1)..30 {
+                b.add_edge(acct(i), acct(j), 1);
+            }
+        }
+        let g = b.build();
+        let cfg = TxAlloConfig::default();
+        let parts = GTxAllo::new(cfg).partition(&g, 2);
+        let w = analysis::part_weights(&g, &parts, 2);
+        let total: u64 = w.iter().sum();
+        let capacity = cfg.capacity_slack * total as f64 / 2.0;
+        let max_dv = 29.0;
+        let max = *w.iter().max().unwrap() as f64;
+        assert!(
+            max <= capacity + max_dv + 1.0,
+            "loads beyond capacity bound: {w:?}, capacity {capacity}"
+        );
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty = TxGraph::from_weighted_edges([], []);
+        assert!(GTxAllo::default().partition(&empty, 4).is_empty());
+        let g = two_cliques();
+        assert_eq!(GTxAllo::default().partition(&g, 1), vec![0; 12]);
+    }
+
+    #[test]
+    fn allocate_covers_all_accounts() {
+        let g = two_cliques();
+        let phi = GTxAllo::default().allocate(&g, 2);
+        assert_eq!(phi.assigned_len(), g.node_count());
+    }
+
+    #[test]
+    fn improves_objective_over_hash_allocation() {
+        let g = two_cliques();
+        let cfg = TxAlloConfig::default();
+        let total: f64 = g.nodes().map(|v| g.node_weight(v).max(1) as f64).sum();
+        let capacity = cfg.capacity_slack * total / 2.0;
+        let objective = AlloObjective::new(cfg.eta, capacity);
+        let score = |parts: &[u16]| {
+            let intra: u64 = g
+                .nodes()
+                .flat_map(|v| {
+                    g.neighbors(v)
+                        .filter(move |&(nb, _)| nb > v && parts[nb.index()] == parts[v.index()])
+                        .map(|(_, w)| w)
+                })
+                .sum();
+            let mut load = vec![0.0f64; 2];
+            for v in g.nodes() {
+                load[usize::from(parts[v.index()])] += g.node_weight(v).max(1) as f64;
+            }
+            let overload: f64 = load.iter().map(|&l| objective.overload(l)).sum();
+            objective.colocation_gain() * (intra as f64 - overload)
+        };
+        let hash_parts: Vec<u16> = g
+            .nodes()
+            .map(|v| {
+                DefaultRule::Sha256Mod
+                    .shard_of(g.account_of(v), 2)
+                    .as_u16()
+            })
+            .collect();
+        let allo_parts = GTxAllo::new(cfg).partition(&g, 2);
+        assert!(
+            score(&allo_parts) >= score(&hash_parts),
+            "optimisation regressed the objective"
+        );
+    }
+
+    #[test]
+    fn many_small_communities_balance_over_shards() {
+        // 12 tight pairs: communities = pairs, LPT spreads them evenly.
+        let mut b = GraphBuilder::new();
+        for i in 0..12u64 {
+            b.add_edge(acct(2 * i), acct(2 * i + 1), 10);
+        }
+        let g = b.build();
+        let parts = GTxAllo::default().partition(&g, 4);
+        assert_eq!(analysis::edge_cut(&g, &parts), 0);
+        let w = analysis::part_weights(&g, &parts, 4);
+        assert_eq!(w, vec![60, 60, 60, 60]);
+    }
+}

@@ -1,0 +1,139 @@
+//! The throughput-driven allocation objective.
+//!
+//! An intra-shard transaction costs the system 1 workload unit; a
+//! cross-shard transaction costs `η` in each of its two shards, i.e.
+//! `2η` total. Co-locating a pair of accounts that exchange `w`
+//! transactions therefore *saves* `w·(2η − 1)` workload units — that is
+//! the co-location gain. Meanwhile every unit of workload placed beyond a
+//! shard's processing capacity is a unit of throughput lost, which the
+//! objective charges as a linear overload penalty.
+//!
+//! The score maximised by both TxAllo variants is
+//!
+//! ```text
+//! Score(ϕ) = (2η−1) · Σ_{e intra} w(e)  −  (2η−1) · Σ_i max(0, load_i − cap)
+//! ```
+//!
+//! with `load_i` the weighted degree resident in shard `i` and `cap` the
+//! slack-scaled even share. Scaling the penalty by the same `2η−1` factor
+//! makes one unit of overload as bad as one unit of cross-shard traffic,
+//! which keeps the trade-off η-invariant.
+
+/// Evaluates score deltas for single-account moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlloObjective {
+    colocation_gain: f64,
+    capacity: f64,
+}
+
+impl AlloObjective {
+    /// Creates an objective for difficulty `eta` and per-shard capacity
+    /// `capacity` (in weighted-degree units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 1`, or `capacity` is negative or not finite.
+    pub fn new(eta: f64, capacity: f64) -> Self {
+        assert!(eta.is_finite() && eta >= 1.0, "eta must be >= 1");
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be >= 0"
+        );
+        AlloObjective {
+            colocation_gain: 2.0 * eta - 1.0,
+            capacity,
+        }
+    }
+
+    /// The per-interaction co-location gain `2η − 1`.
+    pub fn colocation_gain(&self) -> f64 {
+        self.colocation_gain
+    }
+
+    /// The per-shard capacity used in the overload penalty.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Linear overload penalty of a shard at `load`.
+    pub fn overload(&self, load: f64) -> f64 {
+        (load - self.capacity).max(0.0)
+    }
+
+    /// Score delta of moving an account with weighted degree `dv` from a
+    /// shard where it has `conn_from` interaction weight and `load_from`
+    /// total load, to a shard with `conn_to` and `load_to`.
+    ///
+    /// Positive means the move improves the objective.
+    pub fn move_delta(
+        &self,
+        conn_from: f64,
+        conn_to: f64,
+        load_from: f64,
+        load_to: f64,
+        dv: f64,
+    ) -> f64 {
+        let colocation = self.colocation_gain * (conn_to - conn_from);
+        let penalty_before = self.overload(load_from) + self.overload(load_to);
+        let penalty_after = self.overload(load_from - dv) + self.overload(load_to + dv);
+        colocation - self.colocation_gain * (penalty_after - penalty_before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocation_gain_matches_formula() {
+        assert_eq!(AlloObjective::new(2.0, 100.0).colocation_gain(), 3.0);
+        assert_eq!(AlloObjective::new(5.0, 100.0).colocation_gain(), 9.0);
+    }
+
+    #[test]
+    fn overload_is_hinge() {
+        let o = AlloObjective::new(2.0, 10.0);
+        assert_eq!(o.overload(5.0), 0.0);
+        assert_eq!(o.overload(10.0), 0.0);
+        assert_eq!(o.overload(13.0), 3.0);
+    }
+
+    #[test]
+    fn move_toward_friends_is_positive_when_balanced() {
+        let o = AlloObjective::new(2.0, 100.0);
+        // 5 more interactions in the target shard, both shards far below
+        // capacity: clearly positive.
+        let d = o.move_delta(1.0, 6.0, 50.0, 50.0, 4.0);
+        assert!(d > 0.0, "delta = {d}");
+    }
+
+    #[test]
+    fn overloading_target_cancels_colocation() {
+        let o = AlloObjective::new(2.0, 100.0);
+        // Target already at capacity: moving dv=10 there incurs penalty 10,
+        // outweighing a colocation gain of 2 interactions.
+        let d = o.move_delta(0.0, 2.0, 50.0, 100.0, 10.0);
+        assert!(d < 0.0, "delta = {d}");
+    }
+
+    #[test]
+    fn draining_an_overloaded_shard_is_rewarded() {
+        let o = AlloObjective::new(2.0, 100.0);
+        // Equal connectivity, but source is overloaded and target is not.
+        let d = o.move_delta(3.0, 3.0, 120.0, 50.0, 10.0);
+        assert!(d > 0.0, "delta = {d}");
+    }
+
+    #[test]
+    fn symmetric_move_is_zero() {
+        let o = AlloObjective::new(3.0, 80.0);
+        let d = o.move_delta(4.0, 4.0, 60.0, 60.0, 5.0);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be >= 1")]
+    fn rejects_invalid_eta() {
+        let _ = AlloObjective::new(0.0, 1.0);
+    }
+}

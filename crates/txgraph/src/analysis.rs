@@ -1,0 +1,214 @@
+//! Quality measures for partitions of an account graph.
+//!
+//! A *partition vector* assigns each node of a [`TxGraph`] a part in
+//! `[0, k)`. These measures quantify what the miner-driven baselines
+//! optimise: edge-cut (a proxy for cross-shard transactions) and balance
+//! (a proxy for workload deviation).
+
+use crate::csr::{NodeId, TxGraph};
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+///
+/// Every cut edge corresponds to interactions that would be cross-shard
+/// transactions under the induced account allocation.
+///
+/// # Panics
+///
+/// Panics if `parts.len() != graph.node_count()`.
+pub fn edge_cut(graph: &TxGraph, parts: &[u16]) -> u64 {
+    assert_eq!(
+        parts.len(),
+        graph.node_count(),
+        "partition vector length mismatch"
+    );
+    let mut cut = 0u64;
+    for node in graph.nodes() {
+        for (nb, w) in graph.neighbors(node) {
+            // Count each undirected edge once.
+            if nb > node && parts[node.index()] != parts[nb.index()] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Per-part sums of vertex weights.
+///
+/// # Panics
+///
+/// Panics if `parts.len() != graph.node_count()` or any part `≥ k`.
+pub fn part_weights(graph: &TxGraph, parts: &[u16], k: u16) -> Vec<u64> {
+    assert_eq!(
+        parts.len(),
+        graph.node_count(),
+        "partition vector length mismatch"
+    );
+    let mut weights = vec![0u64; usize::from(k)];
+    for node in graph.nodes() {
+        let p = parts[node.index()];
+        assert!(p < k, "part {p} out of range for k = {k}");
+        weights[usize::from(p)] += graph.node_weight(node);
+    }
+    weights
+}
+
+/// Maximum part weight divided by the ideal (average) part weight.
+///
+/// 1.0 is perfect balance; METIS typically enforces ≤ 1.03–1.10.
+/// Returns 1.0 for an empty graph.
+pub fn imbalance(graph: &TxGraph, parts: &[u16], k: u16) -> f64 {
+    let weights = part_weights(graph, parts, k);
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / f64::from(k);
+    let max = weights.iter().copied().max().unwrap_or(0) as f64;
+    max / ideal
+}
+
+/// Newman modularity of the partition on the weighted graph.
+///
+/// `Q = Σ_c (e_c / m − (d_c / 2m)²)` where `e_c` is the intra-part edge
+/// weight, `d_c` the total weighted degree of part `c`, and `m` the total
+/// edge weight. Higher is more community-like; the synthetic workload's
+/// latent communities should yield clearly positive modularity under a
+/// good partition.
+///
+/// Returns 0.0 for a graph without edges.
+///
+/// # Panics
+///
+/// Panics if `parts.len() != graph.node_count()` or any part `≥ k`.
+pub fn modularity(graph: &TxGraph, parts: &[u16], k: u16) -> f64 {
+    assert_eq!(
+        parts.len(),
+        graph.node_count(),
+        "partition vector length mismatch"
+    );
+    let m = graph.total_edge_weight() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mut intra = vec![0.0f64; usize::from(k)];
+    let mut degree = vec![0.0f64; usize::from(k)];
+    for node in graph.nodes() {
+        let p = parts[node.index()];
+        assert!(p < k, "part {p} out of range for k = {k}");
+        for (nb, w) in graph.neighbors(node) {
+            degree[usize::from(p)] += w as f64;
+            if nb > node && parts[nb.index()] == p {
+                intra[usize::from(p)] += w as f64;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..usize::from(k) {
+        q += intra[c] / m - (degree[c] / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// The weight of edges from `node` into each part, as a dense vector.
+///
+/// This is the inner loop of every refinement heuristic: moving `node` to
+/// part `p` changes the cut by `connectivity[current] − connectivity[p]`.
+///
+/// # Panics
+///
+/// Panics if `parts.len() != graph.node_count()`.
+pub fn node_connectivity(graph: &TxGraph, parts: &[u16], k: u16, node: NodeId) -> Vec<u64> {
+    assert_eq!(
+        parts.len(),
+        graph.node_count(),
+        "partition vector length mismatch"
+    );
+    let mut conn = vec![0u64; usize::from(k)];
+    for (nb, w) in graph.neighbors(node) {
+        conn[usize::from(parts[nb.index()])] += w;
+    }
+    conn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_types::AccountId;
+
+    fn acct(i: u64) -> AccountId {
+        AccountId::new(i)
+    }
+
+    /// Two triangles joined by a single light edge.
+    fn two_communities() -> TxGraph {
+        TxGraph::from_weighted_edges(
+            (0..6).map(|i| (acct(i), 1)),
+            [
+                (acct(0), acct(1), 10),
+                (acct(1), acct(2), 10),
+                (acct(0), acct(2), 10),
+                (acct(3), acct(4), 10),
+                (acct(4), acct(5), 10),
+                (acct(3), acct(5), 10),
+                (acct(2), acct(3), 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn edge_cut_of_natural_split() {
+        let g = two_communities();
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(edge_cut(&g, &parts), 1);
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        assert!(edge_cut(&g, &bad) > 1);
+        let all_same = vec![0; 6];
+        assert_eq!(edge_cut(&g, &all_same), 0);
+    }
+
+    #[test]
+    fn part_weights_and_imbalance() {
+        let g = two_communities();
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(part_weights(&g, &parts, 2), vec![3, 3]);
+        assert!((imbalance(&g, &parts, 2) - 1.0).abs() < 1e-12);
+        let skewed = vec![0, 0, 0, 0, 0, 1];
+        assert!((imbalance(&g, &skewed, 2) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_prefers_natural_split() {
+        let g = two_communities();
+        let natural = vec![0, 0, 0, 1, 1, 1];
+        let scrambled = vec![0, 1, 0, 1, 0, 1];
+        let single = vec![0, 0, 0, 0, 0, 0];
+        assert!(modularity(&g, &natural, 2) > modularity(&g, &scrambled, 2));
+        // A single part always has modularity 0.
+        assert!(modularity(&g, &single, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_vector() {
+        let g = two_communities();
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        let n2 = g.node_of(acct(2)).unwrap();
+        let conn = node_connectivity(&g, &parts, 2, n2);
+        assert_eq!(conn, vec![20, 1]);
+    }
+
+    #[test]
+    fn empty_graph_measures() {
+        let g = TxGraph::from_weighted_edges([], []);
+        assert_eq!(edge_cut(&g, &[]), 0);
+        assert_eq!(modularity(&g, &[], 4), 0.0);
+        assert!((imbalance(&g, &[], 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_parts_panics() {
+        let g = two_communities();
+        let _ = edge_cut(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Compressed-sparse-row account graph.
+
+use std::fmt;
+
+use mosaic_types::hash::FnvHashMap;
+use mosaic_types::AccountId;
+
+/// Dense index of a vertex inside a [`TxGraph`].
+///
+/// Node ids are assigned by sorting accounts, so they are stable across
+/// rebuilds of the same edge set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index, suitable for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Immutable undirected weighted graph in CSR form.
+///
+/// This is the input format of the multilevel partitioner and TxAllo:
+/// * `accounts[i]` — the account of node `i` (sorted ascending);
+/// * `vwgt[i]` — vertex weight (transaction endpoints at the account);
+/// * `xadj[i]..xadj[i+1]` — the adjacency range of node `i` in `adjncy`
+///   (neighbour node ids, ascending) and `adjwgt` (edge weights).
+///
+/// Every undirected edge is stored twice (once per direction), as in METIS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxGraph {
+    accounts: Vec<AccountId>,
+    index: FnvHashMap<AccountId, NodeId>,
+    vwgt: Vec<u64>,
+    xadj: Vec<usize>,
+    adjncy: Vec<NodeId>,
+    adjwgt: Vec<u64>,
+    total_edge_weight: u64,
+}
+
+impl TxGraph {
+    /// Builds a CSR graph from vertex weights and unordered unique edges.
+    ///
+    /// Accounts mentioned only in `edges` receive vertex weight 0 unless
+    /// they also appear in `vertices`. Duplicate `(a, b)` pairs must not
+    /// occur (the [`crate::GraphBuilder`] guarantees this).
+    pub fn from_weighted_edges<V, E>(vertices: V, edges: E) -> Self
+    where
+        V: IntoIterator<Item = (AccountId, u64)>,
+        E: IntoIterator<Item = (AccountId, AccountId, u64)>,
+    {
+        let mut vweights: FnvHashMap<AccountId, u64> = FnvHashMap::default();
+        for (a, w) in vertices {
+            *vweights.entry(a).or_default() += w;
+        }
+        let edge_list: Vec<(AccountId, AccountId, u64)> = edges.into_iter().collect();
+        for &(a, b, _) in &edge_list {
+            vweights.entry(a).or_default();
+            vweights.entry(b).or_default();
+        }
+
+        let mut accounts: Vec<AccountId> = vweights.keys().copied().collect();
+        accounts.sort_unstable();
+        let index: FnvHashMap<AccountId, NodeId> = accounts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, NodeId::new(i as u32)))
+            .collect();
+        let vwgt: Vec<u64> = accounts.iter().map(|a| vweights[a]).collect();
+
+        // Degree counting, then CSR fill.
+        let n = accounts.len();
+        let mut degree = vec![0usize; n];
+        for &(a, b, _) in &edge_list {
+            degree[index[&a].index()] += 1;
+            degree[index[&b].index()] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        for d in &degree {
+            let last = *xadj.last().expect("xadj nonempty");
+            xadj.push(last + d);
+        }
+        let m2 = xadj[n];
+        let mut adjncy = vec![NodeId::new(0); m2];
+        let mut adjwgt = vec![0u64; m2];
+        let mut cursor = xadj.clone();
+        let mut total = 0u64;
+        for &(a, b, w) in &edge_list {
+            let (na, nb) = (index[&a], index[&b]);
+            adjncy[cursor[na.index()]] = nb;
+            adjwgt[cursor[na.index()]] = w;
+            cursor[na.index()] += 1;
+            adjncy[cursor[nb.index()]] = na;
+            adjwgt[cursor[nb.index()]] = w;
+            cursor[nb.index()] += 1;
+            total += w;
+        }
+        // Sort each adjacency range by neighbour id for determinism.
+        for i in 0..n {
+            let range = xadj[i]..xadj[i + 1];
+            let mut pairs: Vec<(NodeId, u64)> = range
+                .clone()
+                .map(|j| (adjncy[j], adjwgt[j]))
+                .collect();
+            pairs.sort_unstable_by_key(|&(n, _)| n);
+            for (offset, (nid, w)) in pairs.into_iter().enumerate() {
+                adjncy[range.start + offset] = nid;
+                adjwgt[range.start + offset] = w;
+            }
+        }
+
+        TxGraph {
+            accounts,
+            index,
+            vwgt,
+            xadj,
+            adjncy,
+            adjwgt,
+            total_edge_weight: total,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Sum of all undirected edge weights.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.total_edge_weight
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_node_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// The node for `account`, if present.
+    pub fn node_of(&self, account: AccountId) -> Option<NodeId> {
+        self.index.get(&account).copied()
+    }
+
+    /// The account at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn account_of(&self, node: NodeId) -> AccountId {
+        self.accounts[node.index()]
+    }
+
+    /// All accounts, ascending (node `i` ↔ `accounts()[i]`).
+    pub fn accounts(&self) -> &[AccountId] {
+        &self.accounts
+    }
+
+    /// Vertex weight of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_weight(&self, node: NodeId) -> u64 {
+        self.vwgt[node.index()]
+    }
+
+    /// Degree (number of distinct neighbours) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.xadj[node.index() + 1] - self.xadj[node.index()]
+    }
+
+    /// Iterates over `(neighbour, edge_weight)` of `node`, neighbours
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        let range = self.xadj[node.index()]..self.xadj[node.index() + 1];
+        range.map(move |j| (self.adjncy[j], self.adjwgt[j]))
+    }
+
+    /// Weight of the edge between `a` and `b`, if adjacent (binary search).
+    pub fn edge_weight_between(&self, a: NodeId, b: NodeId) -> Option<u64> {
+        let range = self.xadj[a.index()]..self.xadj[a.index() + 1];
+        let slice = &self.adjncy[range.clone()];
+        slice
+            .binary_search(&b)
+            .ok()
+            .map(|off| self.adjwgt[range.start + off])
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        (0..self.node_count() as u32).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(i: u64) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn triangle() -> TxGraph {
+        TxGraph::from_weighted_edges(
+            [(acct(1), 10), (acct(2), 20), (acct(3), 30)],
+            [
+                (acct(1), acct(2), 5),
+                (acct(2), acct(3), 7),
+                (acct(1), acct(3), 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_structure_of_triangle() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.total_edge_weight(), 13);
+        assert_eq!(g.total_node_weight(), 60);
+        let n1 = g.node_of(acct(1)).unwrap();
+        assert_eq!(g.degree(n1), 2);
+        let neigh: Vec<_> = g.neighbors(n1).collect();
+        assert_eq!(neigh.len(), 2);
+        // Sorted by neighbour id.
+        assert!(neigh[0].0 < neigh[1].0);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = triangle();
+        let n1 = g.node_of(acct(1)).unwrap();
+        let n2 = g.node_of(acct(2)).unwrap();
+        let n3 = g.node_of(acct(3)).unwrap();
+        assert_eq!(g.edge_weight_between(n1, n2), Some(5));
+        assert_eq!(g.edge_weight_between(n2, n1), Some(5));
+        assert_eq!(g.edge_weight_between(n2, n3), Some(7));
+        assert_eq!(g.edge_weight_between(n1, n1), None);
+    }
+
+    #[test]
+    fn accounts_sorted_and_roundtrip() {
+        let g = TxGraph::from_weighted_edges(
+            [(acct(30), 1), (acct(10), 1), (acct(20), 1)],
+            [(acct(30), acct(10), 1)],
+        );
+        assert_eq!(g.accounts(), &[acct(10), acct(20), acct(30)]);
+        for node in g.nodes() {
+            assert_eq!(g.node_of(g.account_of(node)), Some(node));
+        }
+    }
+
+    #[test]
+    fn edge_only_accounts_get_zero_weight() {
+        let g = TxGraph::from_weighted_edges([], [(acct(1), acct(2), 3)]);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.node_weight(NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TxGraph::from_weighted_edges([], []);
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_neighbors() {
+        let g = TxGraph::from_weighted_edges([(acct(9), 4)], []);
+        let n = g.node_of(acct(9)).unwrap();
+        assert_eq!(g.degree(n), 0);
+        assert_eq!(g.neighbors(n).count(), 0);
+    }
+}

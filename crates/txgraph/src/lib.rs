@@ -1,0 +1,46 @@
+//! Account-interaction graphs for the Mosaic reproduction.
+//!
+//! The miner-driven baselines (Metis-style partitioning, TxAllo) operate on
+//! the *historical transaction graph*: an undirected weighted graph whose
+//! vertices are accounts and whose edge weights count the transactions
+//! between a pair of accounts. Vertex weights count transaction endpoints
+//! (an account's share of total processing workload).
+//!
+//! The crate provides:
+//!
+//! * [`GraphBuilder`] — accumulates transactions (or raw weighted edges)
+//!   into an adjacency map; supports weight decay for sliding-window
+//!   updates;
+//! * [`TxGraph`] — an immutable compressed-sparse-row (CSR) snapshot with
+//!   deterministic neighbour ordering, the format consumed by the
+//!   partitioners;
+//! * [`analysis`] — edge-cut, balance, and modularity measures over a
+//!   partition vector.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_txgraph::GraphBuilder;
+//! use mosaic_types::{AccountId, BlockHeight, Transaction, TxId};
+//!
+//! let mut builder = GraphBuilder::new();
+//! builder.add_transaction(&Transaction::new(
+//!     TxId::new(0),
+//!     AccountId::new(1),
+//!     AccountId::new(2),
+//!     BlockHeight::new(0),
+//! ));
+//! let graph = builder.build();
+//! assert_eq!(graph.node_count(), 2);
+//! assert_eq!(graph.edge_count(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod analysis;
+pub mod builder;
+pub mod csr;
+
+pub use builder::GraphBuilder;
+pub use csr::{NodeId, TxGraph};

@@ -1,0 +1,440 @@
+//! The account-shard mapping ϕ (Definition 1).
+//!
+//! Definition 1 of the paper requires ϕ to be a *total* function from
+//! accounts to shards satisfying:
+//!
+//! * **Uniqueness** — each account belongs to exactly one shard
+//!   (`A_i ∩ A_j = ∅` for `i ≠ j`);
+//! * **Completeness** — every account has a shard (`A = ∪ A_i`).
+//!
+//! [`AccountShardMap`] guarantees uniqueness structurally (it is a map) and
+//! completeness by resolving accounts without an explicit assignment through
+//! a deterministic [`DefaultRule`] — hash-based allocation, exactly how
+//! conventional sharded blockchains place accounts that no allocation
+//! algorithm has touched yet.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::hash::{sha256_prefix_u64, FnvHashMap};
+use crate::ids::{AccountId, ShardId};
+
+/// Deterministic rule for accounts with no explicit assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DefaultRule {
+    /// `SHA256(address) mod k` — Chainspace-style (the paper's "hash-based
+    /// random allocation" baseline).
+    #[default]
+    Sha256Mod,
+    /// Monoxide-style: the first bits of `SHA256(address)` scaled to `k`
+    /// shards (exact when `k` is a power of two, range-partitioned
+    /// otherwise).
+    Sha256FirstBits,
+}
+
+impl DefaultRule {
+    /// Resolves `account` to a shard under `k` shards.
+    pub fn shard_of(&self, account: AccountId, k: u16) -> ShardId {
+        debug_assert!(k > 0, "shard count must be positive");
+        let prefix = sha256_prefix_u64(&account.address_bytes());
+        match self {
+            DefaultRule::Sha256Mod => ShardId::new((prefix % u64::from(k)) as u16),
+            DefaultRule::Sha256FirstBits => {
+                // Scale the 64-bit prefix into [0, k): equivalent to taking
+                // the first log2(k) bits when k is a power of two.
+                let shard = ((u128::from(prefix) * u128::from(k)) >> 64) as u16;
+                ShardId::new(shard.min(k - 1))
+            }
+        }
+    }
+}
+
+/// The account-shard mapping ϕ.
+///
+/// A total function `A → [0, k)`: explicitly assigned accounts resolve to
+/// their assignment, all others through the [`DefaultRule`]. Every miner in
+/// the paper stores exactly this object and updates it from the beacon chain
+/// during epoch reconfiguration.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_types::{AccountId, AccountShardMap, ShardId};
+/// # fn main() -> Result<(), mosaic_types::Error> {
+/// let mut phi = AccountShardMap::new(4);
+/// let a = AccountId::new(7);
+/// phi.assign(a, ShardId::new(3))?;
+/// assert_eq!(phi.shard_of(a), ShardId::new(3));
+/// // Unassigned accounts still resolve (completeness).
+/// let _ = phi.shard_of(AccountId::new(1000));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccountShardMap {
+    shards: u16,
+    rule: DefaultRule,
+    assigned: FnvHashMap<AccountId, ShardId>,
+}
+
+impl AccountShardMap {
+    /// Creates an empty mapping over `shards` shards with the
+    /// [`DefaultRule::Sha256Mod`] fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: u16) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        AccountShardMap {
+            shards,
+            rule: DefaultRule::default(),
+            assigned: FnvHashMap::default(),
+        }
+    }
+
+    /// Creates an empty mapping with an explicit fallback rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_rule(shards: u16, rule: DefaultRule) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        AccountShardMap {
+            shards,
+            rule,
+            assigned: FnvHashMap::default(),
+        }
+    }
+
+    /// Number of shards `k`.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// The fallback rule for unassigned accounts.
+    pub fn default_rule(&self) -> DefaultRule {
+        self.rule
+    }
+
+    /// Resolves the shard of `account` (total: never fails).
+    pub fn shard_of(&self, account: AccountId) -> ShardId {
+        match self.assigned.get(&account) {
+            Some(&s) => s,
+            None => self.rule.shard_of(account, self.shards),
+        }
+    }
+
+    /// Returns the explicit assignment of `account`, if any.
+    pub fn explicit(&self, account: AccountId) -> Option<ShardId> {
+        self.assigned.get(&account).copied()
+    }
+
+    /// Returns `true` if `account` has an explicit assignment.
+    pub fn is_assigned(&self, account: AccountId) -> bool {
+        self.assigned.contains_key(&account)
+    }
+
+    /// Explicitly assigns `account` to `shard`, returning the previous
+    /// *explicit* assignment if there was one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShardOutOfRange`] if `shard ≥ k`.
+    pub fn assign(&mut self, account: AccountId, shard: ShardId) -> Result<Option<ShardId>> {
+        if shard.index() >= usize::from(self.shards) {
+            return Err(Error::ShardOutOfRange {
+                shard,
+                shards: self.shards,
+            });
+        }
+        Ok(self.assigned.insert(account, shard))
+    }
+
+    /// Applies a committed migration: moves `account` to `to` and returns
+    /// the shard it resolved to before the move.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShardOutOfRange`] if `to ≥ k`.
+    pub fn migrate(&mut self, account: AccountId, to: ShardId) -> Result<ShardId> {
+        let from = self.shard_of(account);
+        self.assign(account, to)?;
+        Ok(from)
+    }
+
+    /// Removes the explicit assignment of `account` (it falls back to the
+    /// default rule). Returns the removed shard, if any.
+    pub fn unassign(&mut self, account: AccountId) -> Option<ShardId> {
+        self.assigned.remove(&account)
+    }
+
+    /// Number of explicitly assigned accounts.
+    pub fn assigned_len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Returns `true` if no account is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+
+    /// Iterates over all explicit assignments in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (AccountId, ShardId)> + '_ {
+        self.assigned.iter().map(|(&a, &s)| (a, s))
+    }
+
+    /// Counts explicitly assigned accounts per shard (`|A_i|` restricted to
+    /// explicit assignments).
+    pub fn explicit_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; usize::from(self.shards)];
+        for &s in self.assigned.values() {
+            counts[s.index()] += 1;
+        }
+        counts
+    }
+
+    /// Computes the inverse mapping `ϕ⁻¹` restricted to explicit
+    /// assignments: for each shard, the list of accounts assigned to it.
+    /// Lists are sorted for determinism.
+    pub fn inverse_explicit(&self) -> Vec<Vec<AccountId>> {
+        let mut inv = vec![Vec::new(); usize::from(self.shards)];
+        for (&a, &s) in &self.assigned {
+            inv[s.index()].push(a);
+        }
+        for bucket in &mut inv {
+            bucket.sort_unstable();
+        }
+        inv
+    }
+
+    /// Verifies Definition 1 on a universe of accounts: every account
+    /// resolves to a valid shard and (tautologically, but checked anyway)
+    /// resolves to only one. Returns the per-shard member counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShardOutOfRange`] if any resolution escapes
+    /// `[0, k)` — which would indicate internal corruption.
+    pub fn check_partition<I>(&self, universe: I) -> Result<Vec<usize>>
+    where
+        I: IntoIterator<Item = AccountId>,
+    {
+        let mut counts = vec![0usize; usize::from(self.shards)];
+        for account in universe {
+            let s = self.shard_of(account);
+            if s.index() >= counts.len() {
+                return Err(Error::ShardOutOfRange {
+                    shard: s,
+                    shards: self.shards,
+                });
+            }
+            counts[s.index()] += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Bulk-loads assignments, replacing existing ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShardOutOfRange`] on the first invalid shard;
+    /// assignments before the failure point are retained.
+    pub fn extend_assignments<I>(&mut self, assignments: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (AccountId, ShardId)>,
+    {
+        for (account, shard) in assignments {
+            self.assign(account, shard)?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(AccountId, ShardId)> for AccountShardMap {
+    /// Extends with `(account, shard)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard is out of range; use
+    /// [`AccountShardMap::extend_assignments`] for a fallible version.
+    fn extend<T: IntoIterator<Item = (AccountId, ShardId)>>(&mut self, iter: T) {
+        for (account, shard) in iter {
+            self.assign(account, shard)
+                .expect("shard out of range in Extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unassigned_resolves_via_default_rule() {
+        let phi = AccountShardMap::new(16);
+        let a = AccountId::new(12345);
+        let expected = DefaultRule::Sha256Mod.shard_of(a, 16);
+        assert_eq!(phi.shard_of(a), expected);
+        assert!(!phi.is_assigned(a));
+        assert_eq!(phi.explicit(a), None);
+    }
+
+    #[test]
+    fn assign_overrides_default() {
+        let mut phi = AccountShardMap::new(4);
+        let a = AccountId::new(9);
+        phi.assign(a, ShardId::new(2)).unwrap();
+        assert_eq!(phi.shard_of(a), ShardId::new(2));
+        assert_eq!(phi.explicit(a), Some(ShardId::new(2)));
+        assert_eq!(phi.assigned_len(), 1);
+    }
+
+    #[test]
+    fn assign_rejects_out_of_range() {
+        let mut phi = AccountShardMap::new(4);
+        let err = phi.assign(AccountId::new(1), ShardId::new(4)).unwrap_err();
+        assert_eq!(
+            err,
+            Error::ShardOutOfRange {
+                shard: ShardId::new(4),
+                shards: 4
+            }
+        );
+    }
+
+    #[test]
+    fn migrate_reports_previous_shard() {
+        let mut phi = AccountShardMap::new(4);
+        let a = AccountId::new(77);
+        let before = phi.shard_of(a);
+        let from = phi.migrate(a, ShardId::new(1)).unwrap();
+        assert_eq!(from, before);
+        assert_eq!(phi.shard_of(a), ShardId::new(1));
+        let from2 = phi.migrate(a, ShardId::new(3)).unwrap();
+        assert_eq!(from2, ShardId::new(1));
+    }
+
+    #[test]
+    fn unassign_restores_default() {
+        let mut phi = AccountShardMap::new(8);
+        let a = AccountId::new(3);
+        let default = phi.shard_of(a);
+        phi.assign(a, ShardId::new(7)).unwrap();
+        assert_eq!(phi.unassign(a), Some(ShardId::new(7)));
+        assert_eq!(phi.shard_of(a), default);
+        assert_eq!(phi.unassign(a), None);
+    }
+
+    #[test]
+    fn inverse_and_counts_agree() {
+        let mut phi = AccountShardMap::new(3);
+        for i in 0..30u64 {
+            phi.assign(AccountId::new(i), ShardId::new((i % 3) as u16))
+                .unwrap();
+        }
+        let counts = phi.explicit_counts();
+        assert_eq!(counts, vec![10, 10, 10]);
+        let inv = phi.inverse_explicit();
+        for (i, bucket) in inv.iter().enumerate() {
+            assert_eq!(bucket.len(), counts[i]);
+            for a in bucket {
+                assert_eq!(phi.shard_of(*a).index(), i);
+            }
+            // Sorted for determinism.
+            let mut sorted = bucket.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, bucket);
+        }
+    }
+
+    #[test]
+    fn check_partition_counts_universe() {
+        let mut phi = AccountShardMap::new(2);
+        phi.assign(AccountId::new(0), ShardId::new(0)).unwrap();
+        phi.assign(AccountId::new(1), ShardId::new(1)).unwrap();
+        let counts = phi
+            .check_partition((0..100).map(AccountId::new))
+            .unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn first_bits_rule_power_of_two_matches_top_bits() {
+        let k = 16u16;
+        for i in 0..200u64 {
+            let a = AccountId::new(i);
+            let prefix = crate::hash::sha256_prefix_u64(&a.address_bytes());
+            let expected = (prefix >> 60) as u16; // top 4 bits for k=16
+            assert_eq!(
+                DefaultRule::Sha256FirstBits.shard_of(a, k),
+                ShardId::new(expected)
+            );
+        }
+    }
+
+    #[test]
+    fn hash_rules_spread_accounts_roughly_evenly() {
+        let k = 8u16;
+        for rule in [DefaultRule::Sha256Mod, DefaultRule::Sha256FirstBits] {
+            let mut counts = vec![0usize; usize::from(k)];
+            for i in 0..8000u64 {
+                counts[rule.shard_of(AccountId::new(i), k).index()] += 1;
+            }
+            let expected = 1000.0;
+            for c in counts {
+                let dev = (c as f64 - expected).abs() / expected;
+                assert!(dev < 0.15, "rule {rule:?} too skewed: {c} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_panics_on_invalid_but_extend_assignments_errors() {
+        let mut phi = AccountShardMap::new(2);
+        let res = phi.extend_assignments([(AccountId::new(0), ShardId::new(5))]);
+        assert!(res.is_err());
+    }
+
+    proptest! {
+        /// Uniqueness + completeness: any sequence of assignments over a
+        /// random universe still yields a valid partition whose counts sum
+        /// to the universe size.
+        #[test]
+        fn prop_partition_invariants(
+            assignments in proptest::collection::vec((0u64..500, 0u16..8), 0..300),
+            universe_size in 1u64..600,
+        ) {
+            let mut phi = AccountShardMap::new(8);
+            for (a, s) in assignments {
+                phi.assign(AccountId::new(a), ShardId::new(s)).unwrap();
+            }
+            let counts = phi
+                .check_partition((0..universe_size).map(AccountId::new))
+                .unwrap();
+            prop_assert_eq!(counts.iter().sum::<usize>(), universe_size as usize);
+        }
+
+        /// The default rules are deterministic and in-range for any k.
+        #[test]
+        fn prop_default_rules_in_range(account in any::<u64>(), k in 1u16..128) {
+            for rule in [DefaultRule::Sha256Mod, DefaultRule::Sha256FirstBits] {
+                let s = rule.shard_of(AccountId::new(account), k);
+                prop_assert!(s.index() < usize::from(k));
+                prop_assert_eq!(s, rule.shard_of(AccountId::new(account), k));
+            }
+        }
+
+        /// Migration always reports the pre-move shard and lands on target.
+        #[test]
+        fn prop_migrate_roundtrip(account in any::<u64>(), s1 in 0u16..8, s2 in 0u16..8) {
+            let mut phi = AccountShardMap::new(8);
+            let a = AccountId::new(account);
+            phi.assign(a, ShardId::new(s1)).unwrap();
+            let from = phi.migrate(a, ShardId::new(s2)).unwrap();
+            prop_assert_eq!(from, ShardId::new(s1));
+            prop_assert_eq!(phi.shard_of(a), ShardId::new(s2));
+        }
+    }
+}

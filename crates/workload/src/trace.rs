@@ -1,0 +1,287 @@
+//! Ordered transaction traces and epoch windowing.
+
+use mosaic_types::hash::FnvHashSet;
+use mosaic_types::{AccountId, BlockHeight, Transaction};
+
+/// An ordered sequence of committed transactions.
+///
+/// Transactions are sorted by block height (ties keep generation order),
+/// which makes epoch windowing a pair of binary searches. A trace is the
+/// universal input format: the generator produces one, the CSV loader
+/// produces one, and every allocation algorithm and the simulator consume
+/// slices of one.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_types::{AccountId, BlockHeight, Transaction, TxId};
+/// use mosaic_workload::TransactionTrace;
+///
+/// let txs = vec![
+///     Transaction::new(TxId::new(0), AccountId::new(1), AccountId::new(2), BlockHeight::new(0)),
+///     Transaction::new(TxId::new(1), AccountId::new(2), AccountId::new(3), BlockHeight::new(5)),
+/// ];
+/// let trace = TransactionTrace::new(txs);
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.max_block(), Some(BlockHeight::new(5)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransactionTrace {
+    txs: Vec<Transaction>,
+}
+
+impl TransactionTrace {
+    /// Builds a trace from transactions, sorting by block height (stable,
+    /// so intra-block order is preserved).
+    pub fn new(mut txs: Vec<Transaction>) -> Self {
+        txs.sort_by_key(|tx| tx.block);
+        TransactionTrace { txs }
+    }
+
+    /// Builds a trace from transactions already sorted by block height.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the input is not sorted.
+    pub fn from_sorted(txs: Vec<Transaction>) -> Self {
+        debug_assert!(
+            txs.windows(2).all(|w| w[0].block <= w[1].block),
+            "transactions must be sorted by block"
+        );
+        TransactionTrace { txs }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Returns `true` if the trace holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// All transactions in block order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.txs
+    }
+
+    /// Iterates over the transactions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.txs.iter()
+    }
+
+    /// Highest block height present, if any.
+    pub fn max_block(&self) -> Option<BlockHeight> {
+        self.txs.last().map(|tx| tx.block)
+    }
+
+    /// Lowest block height present, if any.
+    pub fn min_block(&self) -> Option<BlockHeight> {
+        self.txs.first().map(|tx| tx.block)
+    }
+
+    /// The set of distinct accounts appearing anywhere in the trace.
+    pub fn accounts(&self) -> FnvHashSet<AccountId> {
+        let mut set = FnvHashSet::default();
+        for tx in &self.txs {
+            for a in tx.accounts() {
+                set.insert(a);
+            }
+        }
+        set
+    }
+
+    /// Number of distinct accounts (`|A|`).
+    pub fn account_count(&self) -> usize {
+        self.accounts().len()
+    }
+
+    /// Slice of transactions with block height in `[from, to)`.
+    pub fn block_range(&self, from: BlockHeight, to: BlockHeight) -> &[Transaction] {
+        let start = self.txs.partition_point(|tx| tx.block < from);
+        let end = self.txs.partition_point(|tx| tx.block < to);
+        &self.txs[start..end]
+    }
+
+    /// Splits the trace at a fraction of its *blocks* (not transactions),
+    /// mirroring the paper's "first 90% of the dataset is used for the
+    /// initial allocation" protocol. Returns `(train, eval)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction ∉ [0, 1]`.
+    pub fn split_at_fraction(&self, fraction: f64) -> (&[Transaction], &[Transaction]) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "split fraction must be in [0,1]"
+        );
+        let Some(max) = self.max_block() else {
+            return (&[], &[]);
+        };
+        let cut = BlockHeight::new(((max.as_u64() + 1) as f64 * fraction).floor() as u64);
+        let idx = self.txs.partition_point(|tx| tx.block < cut);
+        self.txs.split_at(idx)
+    }
+
+    /// Iterates over consecutive epoch windows of `tau` blocks starting at
+    /// block `start_block`. Every window is yielded, including empty ones,
+    /// until the trace is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0`.
+    pub fn epoch_windows(&self, start_block: BlockHeight, tau: u32) -> EpochWindows<'_> {
+        assert!(tau > 0, "epoch length tau must be positive");
+        EpochWindows {
+            trace: self,
+            next_start: start_block,
+            tau,
+        }
+    }
+}
+
+impl FromIterator<Transaction> for TransactionTrace {
+    fn from_iter<T: IntoIterator<Item = Transaction>>(iter: T) -> Self {
+        TransactionTrace::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionTrace {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.txs.iter()
+    }
+}
+
+/// Iterator over `τ`-block epoch windows of a trace.
+///
+/// Produced by [`TransactionTrace::epoch_windows`]. Each item is the slice
+/// of transactions whose block height falls in `[start, start + τ)`.
+#[derive(Debug, Clone)]
+pub struct EpochWindows<'a> {
+    trace: &'a TransactionTrace,
+    next_start: BlockHeight,
+    tau: u32,
+}
+
+impl<'a> Iterator for EpochWindows<'a> {
+    type Item = &'a [Transaction];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let max = self.trace.max_block()?;
+        if self.next_start > max {
+            return None;
+        }
+        let start = self.next_start;
+        let end = BlockHeight::new(start.as_u64() + u64::from(self.tau));
+        self.next_start = end;
+        Some(self.trace.block_range(start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_types::TxId;
+
+    fn tx(id: u64, from: u64, to: u64, block: u64) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            AccountId::new(from),
+            AccountId::new(to),
+            BlockHeight::new(block),
+        )
+    }
+
+    fn sample_trace() -> TransactionTrace {
+        TransactionTrace::new(vec![
+            tx(0, 1, 2, 0),
+            tx(1, 2, 3, 1),
+            tx(2, 3, 4, 4),
+            tx(3, 4, 5, 5),
+            tx(4, 5, 6, 9),
+        ])
+    }
+
+    #[test]
+    fn sorts_on_construction() {
+        let trace = TransactionTrace::new(vec![tx(0, 1, 2, 9), tx(1, 2, 3, 1)]);
+        assert_eq!(trace.transactions()[0].block, BlockHeight::new(1));
+        assert_eq!(trace.min_block(), Some(BlockHeight::new(1)));
+        assert_eq!(trace.max_block(), Some(BlockHeight::new(9)));
+    }
+
+    #[test]
+    fn accounts_are_deduplicated() {
+        let trace = sample_trace();
+        assert_eq!(trace.account_count(), 6);
+    }
+
+    #[test]
+    fn block_range_is_half_open() {
+        let trace = sample_trace();
+        let window = trace.block_range(BlockHeight::new(1), BlockHeight::new(5));
+        assert_eq!(window.len(), 2); // blocks 1 and 4
+        assert_eq!(window[0].id, TxId::new(1));
+        assert_eq!(window[1].id, TxId::new(2));
+    }
+
+    #[test]
+    fn split_at_fraction_by_blocks() {
+        let trace = sample_trace(); // blocks 0..=9 -> 10 logical blocks
+        let (train, eval) = trace.split_at_fraction(0.5);
+        // Cut at block 5: blocks {0,1,4} in train, {5,9} in eval.
+        assert_eq!(train.len(), 3);
+        assert_eq!(eval.len(), 2);
+        let (all, none) = trace.split_at_fraction(1.0);
+        assert_eq!(all.len(), 5);
+        assert!(none.is_empty());
+        let (none2, all2) = trace.split_at_fraction(0.0);
+        assert!(none2.is_empty());
+        assert_eq!(all2.len(), 5);
+    }
+
+    #[test]
+    fn epoch_windows_cover_trace_without_overlap() {
+        let trace = sample_trace();
+        let windows: Vec<_> = trace.epoch_windows(BlockHeight::new(0), 3).collect();
+        // Blocks 0..=9 in windows of 3: [0,3) [3,6) [6,9) [9,12)
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].len(), 2);
+        assert_eq!(windows[1].len(), 2);
+        assert_eq!(windows[2].len(), 0); // empty window is still yielded
+        assert_eq!(windows[3].len(), 1);
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        assert_eq!(total, trace.len());
+    }
+
+    #[test]
+    fn epoch_windows_can_start_mid_trace() {
+        let trace = sample_trace();
+        let windows: Vec<_> = trace.epoch_windows(BlockHeight::new(5), 5).collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].len(), 2); // blocks 5 and 9
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let trace = TransactionTrace::default();
+        assert!(trace.is_empty());
+        assert_eq!(trace.max_block(), None);
+        assert_eq!(
+            trace.epoch_windows(BlockHeight::new(0), 10).count(),
+            0
+        );
+        let (a, b) = trace.split_at_fraction(0.9);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let trace: TransactionTrace = (0..10).map(|i| tx(i, i, i + 1, i)).collect();
+        assert_eq!(trace.len(), 10);
+    }
+}

@@ -1,0 +1,179 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Account activity in Ethereum is famously heavy-tailed: the busiest
+//! accounts (exchanges, token contracts) send or receive orders of magnitude
+//! more transactions than the median account. A Zipf law with exponent
+//! around 0.8–1.2 is the standard model. This sampler draws ranks
+//! `1..=n` with `P(rank = r) ∝ r^(−s)` by inverting a precomputed CDF.
+
+use rand::Rng;
+
+/// Table-based Zipf sampler over ranks `0..n` (zero-based).
+///
+/// Construction is `O(n)` time and memory; sampling is `O(log n)` via
+/// binary search on the cumulative table. For the trace sizes used in this
+/// reproduction (up to a few million accounts) the table comfortably fits
+/// in memory.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_workload::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfSampler::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// cdf[r] = P(rank <= r), monotonically nondecreasing, last entry 1.0.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; larger `s` puts
+    /// more mass on low ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf, exponent: s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if there is a single rank (sampling is constant).
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// The configured exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of rank `r` (zero-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len()`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draws a zero-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate_with_positive_exponent() {
+        let z = ZipfSampler::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(999));
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_pmf() {
+        let z = ZipfSampler::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 200_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..20 {
+            let expected = z.pmf(r) * n as f64;
+            let got = counts[r] as f64;
+            // 5-sigma-ish tolerance on a multinomial cell.
+            let sigma = (expected.max(1.0)).sqrt();
+            assert!(
+                (got - expected).abs() < 6.0 * sigma + 10.0,
+                "rank {r}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let z = ZipfSampler::new(100, 0.9);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

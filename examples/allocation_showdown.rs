@@ -1,0 +1,74 @@
+//! Head-to-head comparison of all five allocation strategies on the same
+//! synthetic trace — a miniature of the paper's Tables I–IV.
+//!
+//! ```text
+//! cargo run --release --example allocation_showdown
+//! MOSAIC_SCALE=default cargo run --release --example allocation_showdown
+//! ```
+
+use mosaic::prelude::*;
+use mosaic::sim::{experiments, runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "scale: {} ({} txs over {} blocks)",
+        scale.label,
+        scale.workload.total_txs(),
+        scale.workload.blocks
+    );
+    let trace = generate(&scale.workload).into_trace();
+
+    let params = SystemParams::builder()
+        .shards(8)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .expect("valid params");
+
+    let results = experiments::run_strategies(&trace, params, scale.eval_epochs, &Strategy::ALL);
+
+    let mut table = TextTable::new([
+        "strategy",
+        "cross-ratio",
+        "throughput",
+        "deviation",
+        "alloc time/epoch",
+        "input bytes",
+        "migrations",
+    ]);
+    for r in &results {
+        table.push_row([
+            r.strategy.name().to_string(),
+            format!("{:.2}%", r.aggregate.cross_ratio * 100.0),
+            format!("{:.2}", r.aggregate.normalized_throughput),
+            format!("{:.2}", r.aggregate.workload_deviation),
+            format!("{:.2e} s", r.mean_alloc_seconds),
+            mosaic::metrics::data_size::human_bytes(r.mean_input_bytes),
+            format!("{}", r.total_migrations),
+        ]);
+    }
+    println!("{table}");
+
+    // The same speed story as Table IV, phrased as a ratio.
+    let pilot = results
+        .iter()
+        .find(|r| r.strategy == Strategy::Mosaic)
+        .expect("mosaic present");
+    let gtxallo = results
+        .iter()
+        .find(|r| r.strategy == Strategy::GTxAllo)
+        .expect("g-txallo present");
+    if pilot.mean_alloc_seconds > 0.0 {
+        println!(
+            "Pilot is {:.0}x faster per decision than G-TxAllo per epoch \
+             ({:.2e} s vs {:.2e} s), using {:.0}x less input",
+            gtxallo.mean_alloc_seconds / pilot.mean_alloc_seconds,
+            pilot.mean_alloc_seconds,
+            gtxallo.mean_alloc_seconds,
+            gtxallo.mean_input_bytes / pilot.mean_input_bytes.max(1.0),
+        );
+    }
+    // Keep the unused-variable lint honest about runner re-exports.
+    let _ = runner::ExperimentConfig::new(params, Strategy::Random, 1);
+}

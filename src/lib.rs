@@ -1,0 +1,79 @@
+//! **Mosaic** — a client-driven account allocation framework for sharded
+//! blockchains, with its full evaluation substrate.
+//!
+//! This is the facade crate of the workspace: it re-exports every
+//! component so applications can depend on a single crate. The
+//! implementation reproduces *"Mosaic: Client-driven Account Allocation
+//! Framework in Sharded Blockchains"* (ICDCS 2025) from scratch:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`types`] | ids, transactions, ϕ, parameters, SHA-256/FNV |
+//! | [`workload`] | synthetic Ethereum-like trace generator + CSV I/O |
+//! | [`txgraph`] | account-interaction graph (builder, CSR, analysis) |
+//! | [`partition`] | hash-based allocation + multilevel Metis-like partitioner |
+//! | [`txallo`] | G-TxAllo / A-TxAllo baselines (ICDE'23, reimplemented) |
+//! | [`chain`] | shard chains, beacon chain, miners, reconfiguration |
+//! | [`core`] | **the paper's contribution**: Mosaic framework + Pilot |
+//! | [`metrics`] | cross-shard ratio, workload deviation, throughput |
+//! | [`sim`] | the experiment runner regenerating Tables I–VI & Fig. 1 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mosaic::prelude::*;
+//!
+//! # fn main() -> Result<(), mosaic::types::Error> {
+//! // A tiny sharded system with 4 shards.
+//! let params = SystemParams::builder().shards(4).tau(50).build()?;
+//! let trace = generate(&WorkloadConfig::small_test(7)).into_trace();
+//!
+//! // Initial allocation from the training prefix, then run Mosaic.
+//! let (train, _eval) = trace.split_at_fraction(0.9);
+//! let mut builder = GraphBuilder::new();
+//! builder.add_transactions(train);
+//! let phi = GTxAllo::default().allocate(&builder.build(), 4);
+//!
+//! let mut ledger = Ledger::new(params, phi, 8)?;
+//! let mut mosaic = MosaicFramework::new(params);
+//! mosaic.observe_epoch(train);
+//!
+//! for window in trace.epoch_windows(BlockHeight::new(1800), 50).take(4) {
+//!     let (outcome, _report) = mosaic.run_epoch(&mut ledger, window);
+//!     assert!(outcome.load.cross_ratio() <= 1.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use mosaic_chain as chain;
+pub use mosaic_core as core;
+pub use mosaic_metrics as metrics;
+pub use mosaic_partition as partition;
+pub use mosaic_sim as sim;
+pub use mosaic_txallo as txallo;
+pub use mosaic_txgraph as txgraph;
+pub use mosaic_types as types;
+pub use mosaic_workload as workload;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use mosaic_chain::{BeaconChain, Ledger, MinerSet, ShardChain};
+    pub use mosaic_core::{
+        Client, CounterpartySet, MosaicFramework, Pilot, PilotDecision, PilotInput,
+        WorkloadOracle,
+    };
+    pub use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams, TextTable};
+    pub use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
+    pub use mosaic_sim::{ExperimentConfig, ExperimentResult, Scale, Strategy};
+    pub use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
+    pub use mosaic_txgraph::{GraphBuilder, TxGraph};
+    pub use mosaic_types::{
+        AccountId, AccountShardMap, BlockHeight, EpochId, MigrationRequest, ShardId,
+        SystemParams, Transaction, TxId,
+    };
+    pub use mosaic_workload::{generate, TransactionTrace, WorkloadConfig};
+}
