@@ -24,11 +24,7 @@ fn sample_txs(n: u64) -> Vec<Transaction> {
 }
 
 fn bench_process_epoch(c: &mut Criterion) {
-    let params = SystemParams::builder()
-        .shards(16)
-        .tau(300)
-        .build()
-        .unwrap();
+    let params = SystemParams::builder().shards(16).tau(300).build().unwrap();
     let txs = sample_txs(7_500);
     let mut group = c.benchmark_group("ledger");
     group.throughput(Throughput::Elements(txs.len() as u64));

@@ -1,0 +1,26 @@
+//! Sequential vs parallel execution of the effectiveness grid (25
+//! independent experiment cells) on the quick synthetic trace — the
+//! speedup the order-stable worker pool buys on a multicore host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosaic_sim::experiments;
+use mosaic_sim::{Parallelism, Scale};
+
+fn bench_grid_execution(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("effectiveness_grid");
+    group.sample_size(3);
+    group.bench_function("sequential", |b| {
+        b.iter(|| experiments::effectiveness_grid_with(&scale, Parallelism::Sequential))
+    });
+    group.bench_function("parallel_auto", |b| {
+        b.iter(|| experiments::effectiveness_grid_with(&scale, Parallelism::Auto))
+    });
+    group.bench_function("parallel_4", |b| {
+        b.iter(|| experiments::effectiveness_grid_with(&scale, Parallelism::Threads(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_execution);
+criterion_main!(benches);

@@ -12,7 +12,10 @@ fn main() {
     let stats = TraceStats::compute(workload.trace());
 
     let mut t = TextTable::new(["Statistic", "Value"]);
-    t.push_row(["Transactions |T|".to_string(), format!("{}", stats.transactions)]);
+    t.push_row([
+        "Transactions |T|".to_string(),
+        format!("{}", stats.transactions),
+    ]);
     t.push_row(["Accounts |A|".to_string(), format!("{}", stats.accounts)]);
     t.push_row(["Blocks".to_string(), format!("{}", stats.blocks)]);
     t.push_row([

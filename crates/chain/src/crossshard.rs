@@ -114,13 +114,16 @@ impl RelayTracker {
             } else {
                 // Withdraw half + receipt emission in the source shard.
                 *self.work.entry(s_from).or_default() += 2;
-                self.queues.entry(s_to).or_default().push_back(RelayReceipt {
-                    tx: tx.id,
-                    from_shard: s_from,
-                    to_shard: s_to,
-                    beneficiary: tx.to,
-                    emitted_at: height,
-                });
+                self.queues
+                    .entry(s_to)
+                    .or_default()
+                    .push_back(RelayReceipt {
+                        tx: tx.id,
+                        from_shard: s_from,
+                        to_shard: s_to,
+                        beneficiary: tx.to,
+                        emitted_at: height,
+                    });
             }
         }
     }

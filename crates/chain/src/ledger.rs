@@ -157,9 +157,7 @@ impl Ledger {
 
         // Phase 1: beacon commitment, bounded by λ (§V-A) unless the
         // ablation override is set.
-        let capacity = self
-            .migration_capacity
-            .unwrap_or(lambda.floor() as usize);
+        let capacity = self.migration_capacity.unwrap_or(lambda.floor() as usize);
         let committed = self.beacon.commit_epoch(epoch, capacity);
 
         // Phase 2: reconfiguration.
@@ -279,10 +277,7 @@ mod tests {
         let out = ledger.process_epoch(&txs);
         assert_eq!(out.committed.len(), 1);
         assert_eq!(out.load.cross_txs(), 0, "migration must precede processing");
-        assert_eq!(
-            ledger.phi().shard_of(AccountId::new(0)),
-            ShardId::new(1)
-        );
+        assert_eq!(ledger.phi().shard_of(AccountId::new(0)), ShardId::new(1));
     }
 
     #[test]
@@ -332,9 +327,7 @@ mod tests {
         ledger.set_allocation(phi).unwrap();
         assert_eq!(ledger.phi().shard_of(AccountId::new(0)), ShardId::new(1));
         assert_eq!(ledger.beacon().committed_len(), 0);
-        assert!(ledger
-            .set_allocation(AccountShardMap::new(3))
-            .is_err());
+        assert!(ledger.set_allocation(AccountShardMap::new(3)).is_err());
     }
 
     #[test]

@@ -100,7 +100,8 @@ impl MinerSet {
     pub fn reshuffle(&mut self, epoch: EpochId) -> usize {
         let n = self.miners.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ epoch.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15));
         for i in (1..n).rev() {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);

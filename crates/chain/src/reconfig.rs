@@ -135,14 +135,7 @@ mod tests {
         let mut phi = AccountShardMap::new(2);
         let mut miners = MinerSet::new(10, 2, 1);
         let mut meter = NetworkMeter::new();
-        let report = apply(
-            &mut phi,
-            &[],
-            &mut miners,
-            EpochId::new(1),
-            &mut meter,
-            50,
-        );
+        let report = apply(&mut phi, &[], &mut miners, EpochId::new(1), &mut meter, 50);
         assert_eq!(report.migrations_applied, 0);
         assert!(report.miners_moved > 0);
         assert_eq!(meter.migration_state, 0);

@@ -117,10 +117,14 @@ mod tests {
         c.commit_epoch(EpochId::new(0), 10, 3);
         let mut tampered = c.clone();
         // Mutate a middle block's body: child link breaks.
-        tampered.blocks[1].body = BlockBody::Transactions { intra: 99, cross: 0 };
-        tampered
-            .blocks
-            .push(c.blocks[1].child(EpochId::new(1), BlockBody::Transactions { intra: 1, cross: 0 }));
+        tampered.blocks[1].body = BlockBody::Transactions {
+            intra: 99,
+            cross: 0,
+        };
+        tampered.blocks.push(c.blocks[1].child(
+            EpochId::new(1),
+            BlockBody::Transactions { intra: 1, cross: 0 },
+        ));
         // The appended block's parent is the *untampered* hash, so verify
         // must fail on the tampered copy.
         assert!(!tampered.verify());

@@ -168,8 +168,7 @@ mod tests {
     fn linear_matches_default_pilot() {
         let psi = [8.0, 1.0, 1.0];
         let omega = [10.0, 10.0, 10.0];
-        let with_schedule =
-            decide_with_schedule(&LinearFee, 2.0, &psi, &omega, ShardId::new(1));
+        let with_schedule = decide_with_schedule(&LinearFee, 2.0, &psi, &omega, ShardId::new(1));
         let plain = crate::pilot::Pilot::new(2.0).decide(&crate::pilot::PilotInput {
             psi: &psi,
             omega: &omega,
@@ -183,7 +182,10 @@ mod tests {
     fn schedules_are_monotonic() {
         let schedules: Vec<Box<dyn FeeSchedule>> = vec![
             Box::new(LinearFee),
-            Box::new(AffineFee { base: 2.0, slope: 0.5 }),
+            Box::new(AffineFee {
+                base: 2.0,
+                slope: 0.5,
+            }),
             Box::new(SuperlinearFee::new(2.0)),
             Box::new(Eip1559Fee {
                 base_fee: 10.0,
@@ -245,7 +247,10 @@ mod tests {
         let eta = 2.0;
         let schedules: Vec<Box<dyn FeeSchedule>> = vec![
             Box::new(LinearFee),
-            Box::new(AffineFee { base: 5.0, slope: 2.0 }),
+            Box::new(AffineFee {
+                base: 5.0,
+                slope: 2.0,
+            }),
             Box::new(SuperlinearFee::new(1.5)),
         ];
         for s in &schedules {

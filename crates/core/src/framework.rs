@@ -5,6 +5,13 @@
 //! their policy (Pilot by default) on their local state plus the public
 //! workload vector, submit migration requests to the beacon chain, the
 //! beacon commits the best `λ`, and reconfiguration applies them.
+//!
+//! [`MosaicFramework::run_epoch`] bundles the five §V-A steps for
+//! standalone use; the experiment engine (`mosaic-sim`'s
+//! `MosaicStrategy`) drives the same steps through the finer-grained
+//! [`MosaicFramework::set_expectations`] / [`MosaicFramework::propose`] /
+//! [`MosaicFramework::observe_epoch`] hooks so that ledger processing
+//! stays inside the strategy-agnostic epoch pipeline.
 
 use std::time::Duration;
 
@@ -129,14 +136,8 @@ impl<P: ClientPolicy> MosaicFramework<P> {
             seed_bytes[..8].copy_from_slice(&tx.id.as_u64().to_be_bytes());
             seed_bytes[8..].copy_from_slice(&self.expectation_seed.to_be_bytes());
             if sha256_prefix_u64(&seed_bytes) <= threshold {
-                sampled
-                    .entry(tx.from)
-                    .or_default()
-                    .add(tx.to, 1);
-                sampled
-                    .entry(tx.to)
-                    .or_default()
-                    .add(tx.from, 1);
+                sampled.entry(tx.from).or_default().add(tx.to, 1);
+                sampled.entry(tx.to).or_default().add(tx.from, 1);
             }
         }
         for (account, expected) in sampled {
@@ -361,7 +362,10 @@ mod tests {
         let future: Vec<Transaction> = (0..200).map(|i| tx(i, 1, 2)).collect();
         m.set_expectations(&future);
         let total = m.client(AccountId::new(1)).unwrap().expected().total();
-        assert!(total > 50 && total < 150, "sample size {total} for beta 0.5");
+        assert!(
+            total > 50 && total < 150,
+            "sample size {total} for beta 0.5"
+        );
     }
 
     #[test]
@@ -384,8 +388,9 @@ mod tests {
             let mut m = MosaicFramework::new(params(4));
             let mut summary = Vec::new();
             for e in 0..5u64 {
-                let w: Vec<Transaction> =
-                    (0..20).map(|i| tx(e * 20 + i, (i % 4) + 1, ((i + 1) % 4) + 1)).collect();
+                let w: Vec<Transaction> = (0..20)
+                    .map(|i| tx(e * 20 + i, (i % 4) + 1, ((i + 1) % 4) + 1))
+                    .collect();
                 let (out, rep) = m.run_epoch(&mut ledger, &w);
                 summary.push((out.committed.len(), rep.proposed, out.load.cross_txs()));
             }

@@ -160,8 +160,9 @@ mod tests {
 
     #[test]
     fn encode_is_sorted_and_sized() {
-        let set: CounterpartySet =
-            [(AccountId::new(9), 2), (AccountId::new(3), 1)].into_iter().collect();
+        let set: CounterpartySet = [(AccountId::new(9), 2), (AccountId::new(3), 1)]
+            .into_iter()
+            .collect();
         let buf = set.encode();
         assert_eq!(buf.len(), set.encoded_len());
         assert_eq!(buf.len(), 24);

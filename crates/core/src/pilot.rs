@@ -84,7 +84,11 @@ impl Pilot {
     /// Panics if `psi` and `omega` differ in length, are empty, or
     /// `current` is out of range.
     pub fn decide(&self, input: &PilotInput<'_>) -> PilotDecision {
-        let PilotInput { psi, omega, current } = *input;
+        let PilotInput {
+            psi,
+            omega,
+            current,
+        } = *input;
         assert_eq!(psi.len(), omega.len(), "psi and omega length mismatch");
         assert!(current.index() < psi.len(), "current shard out of range");
         let psi_total: f64 = psi.iter().sum();
@@ -113,8 +117,12 @@ impl Pilot {
             };
         }
 
-        let current_potential =
-            potential(psi[current.index()], psi_total, omega[current.index()], self.eta);
+        let current_potential = potential(
+            psi[current.index()],
+            psi_total,
+            omega[current.index()],
+            self.eta,
+        );
         let best = argmax_potential(psi, omega, self.eta);
         let best_potential = potential(psi[best], psi_total, omega[best], self.eta);
 

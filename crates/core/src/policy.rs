@@ -127,23 +127,20 @@ mod tests {
 
     #[test]
     fn pilot_policy_delegates_to_pilot() {
-        let (target, gain) =
-            PilotPolicy.choose(&ctx(&[8.0, 1.0], &[10.0, 10.0], 1));
+        let (target, gain) = PilotPolicy.choose(&ctx(&[8.0, 1.0], &[10.0, 10.0], 1));
         assert_eq!(target, ShardId::new(0));
         assert!(gain > 0.0);
     }
 
     #[test]
     fn interaction_only_ignores_workload() {
-        let (target, _) =
-            InteractionOnlyPolicy.choose(&ctx(&[1.0, 9.0], &[1.0, 1000.0], 0));
+        let (target, _) = InteractionOnlyPolicy.choose(&ctx(&[1.0, 9.0], &[1.0, 1000.0], 0));
         assert_eq!(target, ShardId::new(1));
     }
 
     #[test]
     fn workload_only_ignores_interactions() {
-        let (target, _) =
-            WorkloadOnlyPolicy.choose(&ctx(&[9.0, 0.0], &[100.0, 1.0], 0));
+        let (target, _) = WorkloadOnlyPolicy.choose(&ctx(&[9.0, 0.0], &[100.0, 1.0], 0));
         assert_eq!(target, ShardId::new(1));
     }
 
@@ -163,6 +160,9 @@ mod tests {
             Box::new(StickyPolicy),
         ];
         let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
-        assert_eq!(names, vec!["Pilot", "InteractionOnly", "WorkloadOnly", "Sticky"]);
+        assert_eq!(
+            names,
+            vec!["Pilot", "InteractionOnly", "WorkloadOnly", "Sticky"]
+        );
     }
 }

@@ -89,7 +89,10 @@ mod tests {
     fn matches_cost_on_known_example() {
         let psi = [3.0, 1.0];
         let omega = [2.0, 4.0];
-        assert_eq!(argmax_potential(&psi, &omega, 2.0), argmin_cost(&psi, &omega, 2.0));
+        assert_eq!(
+            argmax_potential(&psi, &omega, 2.0),
+            argmin_cost(&psi, &omega, 2.0)
+        );
     }
 
     proptest! {

@@ -31,7 +31,9 @@ pub const fn miner_input_bytes(tx_count: usize) -> usize {
 /// Input size of a Pilot client holding `counterparties` distinct
 /// counterparties under `k` shards: header + counterparty multiset + Ω.
 pub const fn client_input_bytes(counterparties: usize, k: u16) -> usize {
-    CLIENT_HEADER_BYTES + counterparties * COUNTERPARTY_ENTRY_BYTES + (k as usize) * WORKLOAD_ENTRY_BYTES
+    CLIENT_HEADER_BYTES
+        + counterparties * COUNTERPARTY_ENTRY_BYTES
+        + (k as usize) * WORKLOAD_ENTRY_BYTES
 }
 
 /// Formats a byte count with a binary-prefix unit, mirroring the units the

@@ -64,11 +64,7 @@ impl Aggregate {
         Aggregate {
             cross_ratio: epochs.iter().map(|e| e.cross_ratio).sum::<f64>() / nf,
             workload_deviation: epochs.iter().map(|e| e.workload_deviation).sum::<f64>() / nf,
-            normalized_throughput: epochs
-                .iter()
-                .map(|e| e.normalized_throughput)
-                .sum::<f64>()
-                / nf,
+            normalized_throughput: epochs.iter().map(|e| e.normalized_throughput).sum::<f64>() / nf,
             total_txs: epochs.iter().map(|e| e.total_txs).sum(),
             migrations: epochs.iter().map(|e| e.migrations).sum(),
             epochs: n,
@@ -164,9 +160,9 @@ impl fmt::Display for TextTable {
             }
         }
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            for c in 0..cols {
+            for (c, width) in widths.iter().enumerate() {
                 let cell = cells.get(c).map(String::as_str).unwrap_or("");
-                write!(f, "{cell:<width$}", width = widths[c])?;
+                write!(f, "{cell:<width$}")?;
                 if c + 1 < cols {
                     write!(f, "  ")?;
                 }

@@ -81,9 +81,7 @@ mod tests {
         }
         let graph = b.build();
         let phi = HashAllocator::chainspace().allocate(&graph, 8);
-        let counts = phi
-            .check_partition((0..4001).map(AccountId::new))
-            .unwrap();
+        let counts = phi.check_partition((0..4001).map(AccountId::new)).unwrap();
         let expected = 4001.0 / 8.0;
         for c in counts {
             assert!((c as f64 - expected).abs() / expected < 0.2, "count {c}");
@@ -101,10 +99,7 @@ mod tests {
         let a = alloc.allocate(&empty, 4);
         let b = alloc.allocate(&dense, 4);
         for i in 0..100u64 {
-            assert_eq!(
-                a.shard_of(AccountId::new(i)),
-                b.shard_of(AccountId::new(i))
-            );
+            assert_eq!(a.shard_of(AccountId::new(i)), b.shard_of(AccountId::new(i)));
         }
     }
 

@@ -100,8 +100,8 @@ impl MetisPartitioner {
 
         // --- Phase 1: coarsen -------------------------------------------
         let base = WorkGraph::from_tx_graph(graph);
-        let stop_at = (self.config.coarsen_per_part * usize::from(k))
-            .max(self.config.min_coarse_nodes);
+        let stop_at =
+            (self.config.coarsen_per_part * usize::from(k)).max(self.config.min_coarse_nodes);
         let mut levels: Vec<WorkGraph> = vec![base];
         let mut maps: Vec<Vec<u32>> = Vec::new(); // maps[i]: level i node -> level i+1 node
         loop {
@@ -123,7 +123,13 @@ impl MetisPartitioner {
         let mut parts = initial_partition(coarsest, k);
         let max_allowed = max_part_weight(coarsest.total_weight(), k, self.config.balance_factor);
         rebalance(coarsest, &mut parts, k, max_allowed);
-        refine(coarsest, &mut parts, k, max_allowed, self.config.refine_passes);
+        refine(
+            coarsest,
+            &mut parts,
+            k,
+            max_allowed,
+            self.config.refine_passes,
+        );
 
         // --- Phase 3: uncoarsen + refine ---------------------------------
         for level_idx in (0..maps.len()).rev() {
@@ -134,8 +140,7 @@ impl MetisPartitioner {
                 fine_parts[v] = parts[map[v] as usize];
             }
             parts = fine_parts;
-            let max_allowed =
-                max_part_weight(fine.total_weight(), k, self.config.balance_factor);
+            let max_allowed = max_part_weight(fine.total_weight(), k, self.config.balance_factor);
             rebalance(fine, &mut parts, k, max_allowed);
             refine(fine, &mut parts, k, max_allowed, self.config.refine_passes);
         }
@@ -398,7 +403,7 @@ fn rebalance(graph: &WorkGraph, parts: &mut [u16], k: u16, max_allowed: u64) {
                 conn[usize::from(parts[nb as usize])] += w;
             }
             let gain = conn[lightest] as i64 - conn[heavy] as i64;
-            if best.map_or(true, |(_, bg)| gain > bg) {
+            if best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((v, gain));
             }
         }
@@ -445,7 +450,8 @@ fn refine(graph: &WorkGraph, parts: &mut [u16], k: u16, max_allowed: u64, passes
                     continue;
                 }
                 if conn[p] > best_conn
-                    || (conn[p] == best_conn && best_p != cur
+                    || (conn[p] == best_conn
+                        && best_p != cur
                         && part_weight[p] < part_weight[best_p])
                 {
                     best_p = p;
@@ -457,8 +463,7 @@ fn refine(graph: &WorkGraph, parts: &mut [u16], k: u16, max_allowed: u64, passes
             }
             let gain = best_conn as i64 - conn[cur] as i64;
             let fits = part_weight[best_p] + graph.vwgt[v] <= max_allowed;
-            let balance_improves =
-                part_weight[best_p] + graph.vwgt[v] < part_weight[cur];
+            let balance_improves = part_weight[best_p] + graph.vwgt[v] < part_weight[cur];
             if fits && (gain > 0 || (gain == 0 && balance_improves)) {
                 part_weight[cur] -= graph.vwgt[v];
                 part_weight[best_p] += graph.vwgt[v];
@@ -579,9 +584,7 @@ mod tests {
         let metis_cut = analysis::edge_cut(&g, &parts);
 
         // Random baseline: hash of node index.
-        let random_parts: Vec<u16> = (0..g.node_count())
-            .map(|i| (i % 8) as u16)
-            .collect();
+        let random_parts: Vec<u16> = (0..g.node_count()).map(|i| (i % 8) as u16).collect();
         let random_cut = analysis::edge_cut(&g, &random_parts);
         assert!(
             (metis_cut as f64) < 0.5 * random_cut as f64,

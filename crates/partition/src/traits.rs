@@ -12,6 +12,12 @@ use mosaic_types::AccountShardMap;
 /// through the map's hash-based default rule — the paper's treatment of
 /// new accounts for the graph-based baselines ("these accounts are
 /// randomly allocated").
+///
+/// The experiment runner drives every implementation through its
+/// `EpochStrategy` trait (in `mosaic-sim`): a blanket impl adapts any
+/// `GlobalAllocator` into a strategy that recomputes ϕ on the full
+/// history each epoch, so implementing this trait is all a new
+/// miner-driven algorithm needs to appear in the evaluation.
 pub trait GlobalAllocator {
     /// Human-readable name used in reports ("Metis", "Random", …).
     fn name(&self) -> &'static str;
@@ -26,7 +32,7 @@ mod tests {
     use mosaic_types::ShardId;
 
     /// Object safety: allocators must be usable as trait objects (the
-    /// experiment runner stores them as `Box<dyn GlobalAllocator>`).
+    /// sim registry boxes them behind its `EpochStrategy` adapter).
     #[test]
     fn trait_is_object_safe() {
         struct Dummy;

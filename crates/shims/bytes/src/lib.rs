@@ -1,0 +1,110 @@
+//! Offline shim for the subset of the `bytes` crate this workspace uses:
+//! [`BytesMut`] as a growable byte buffer and the big-endian `put_*`
+//! methods of [`BufMut`], backed by a plain `Vec<u8>`.
+
+#![deny(missing_docs)]
+
+use core::ops::{Deref, DerefMut};
+
+/// A growable byte buffer (a thin wrapper around `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Consumes the buffer, returning the underlying vector (stands in
+    /// for `freeze()` in the real crate).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Append-style writing of big-endian integers and raw slices.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BufMut, BytesMut};
+
+    #[test]
+    fn big_endian_layout() {
+        let mut buf = BytesMut::with_capacity(12);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_u32(0x0a0b_0c0d);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(&buf[..2], &[0x01, 0x02]);
+        assert_eq!(&buf[8..], &[0x0a, 0x0b, 0x0c, 0x0d]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing serialises through serde yet,
+//! and the build environment has no network access. The traits here are
+//! markers with blanket implementations, and the derives (from the
+//! sibling `serde_derive` shim) expand to nothing. Swapping in the real
+//! serde later is a Cargo.toml change only.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing
+//! because the sibling `serde` shim provides blanket implementations of
+//! its marker traits. `#[serde(...)]` helper attributes are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

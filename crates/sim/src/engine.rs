@@ -1,0 +1,583 @@
+//! The unified epoch engine: one pipeline for every allocation strategy.
+//!
+//! The paper's evaluation (§V-A) runs five very different allocation
+//! mechanisms through the *same* protocol — initial allocation on the
+//! training prefix, then per-epoch allocation updates, beacon commits and
+//! metric collection over the evaluation epochs. [`EpochStrategy`] is the
+//! seam between the protocol and the mechanisms:
+//!
+//! * the protocol lives in exactly one place ([`run_with`] — the only
+//!   epoch loop in the crate);
+//! * every mechanism is an [`EpochStrategy`] implementation — a blanket
+//!   impl adapts any miner-driven [`GlobalAllocator`] (Metis, G-TxAllo),
+//!   [`StaticStrategy`] wraps rule-only allocation (hash-based Random),
+//!   [`AdaptiveTxAllo`] wraps the incremental A-TxAllo update, and
+//!   [`MosaicStrategy`] wraps the client-driven [`MosaicFramework`];
+//! * adding a sixth strategy requires a new impl plus a registry entry
+//!   ([`crate::Strategy::build`]) — the protocol is untouched.
+//!
+//! The engine also owns the evaluation hot path: the historical graph is
+//! accreted **lazily** ([`History`]) so strategies that never look at the
+//! full history (Mosaic, Random, A-TxAllo) never pay for graph
+//! construction, and epoch windows are threaded through as borrowed
+//! slices of the trace — no per-epoch `to_vec` clones.
+
+use std::time::Duration;
+
+use mosaic_chain::Ledger;
+use mosaic_core::{ClientPolicy, MosaicFramework};
+use mosaic_metrics::data_size::miner_input_bytes;
+use mosaic_metrics::timing::{time_it, DurationStats};
+use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams};
+use mosaic_partition::GlobalAllocator;
+use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
+use mosaic_txgraph::{GraphBuilder, TxGraph};
+use mosaic_types::{AccountShardMap, BlockHeight, SystemParams, Transaction};
+use mosaic_workload::TransactionTrace;
+
+use crate::runner::{ExperimentConfig, ExperimentResult};
+
+/// Lazily accreted transaction history.
+///
+/// Epoch windows are appended as borrowed slices in O(1); the interaction
+/// graph is only materialised when a strategy actually asks for it, and
+/// the CSR snapshot is cached until the next append. Full-history
+/// strategies therefore pay for graph construction once per epoch (inside
+/// their own timed region, as a real miner would), while everyone else
+/// pays nothing.
+#[derive(Debug, Default)]
+pub struct History<'t> {
+    builder: GraphBuilder,
+    pending: Vec<&'t [Transaction]>,
+    cached: Option<TxGraph>,
+    txs: usize,
+}
+
+impl<'t> History<'t> {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends committed transactions (O(1); accretion is deferred until
+    /// [`History::graph`]).
+    pub fn extend(&mut self, txs: &'t [Transaction]) {
+        if txs.is_empty() {
+            return;
+        }
+        self.pending.push(txs);
+        self.cached = None;
+        self.txs += txs.len();
+    }
+
+    /// Total transactions in the history (including not-yet-accreted
+    /// windows).
+    pub fn len(&self) -> usize {
+        self.txs
+    }
+
+    /// Returns `true` if no transaction has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.txs == 0
+    }
+
+    /// Drains pending windows into the builder (hash-map accretion, the
+    /// part a miner amortises while blocks commit). Separated from the
+    /// CSR construction so strategies can keep accretion *outside* their
+    /// timed region while paying for [`History::snapshot`] inside it.
+    pub fn accrete(&mut self) {
+        for window in self.pending.drain(..) {
+            self.builder.add_transactions(window);
+        }
+    }
+
+    /// Builds a fresh CSR snapshot of the accreted graph — always a full
+    /// construction, never cached, so timing it measures the same work
+    /// every epoch.
+    ///
+    /// Call [`History::accrete`] first; pending windows not yet accreted
+    /// are *not* included.
+    pub fn snapshot(&self) -> TxGraph {
+        self.builder.build()
+    }
+
+    /// The full-history interaction graph, cached between calls. Drains
+    /// pending windows into the builder and rebuilds the CSR snapshot if
+    /// anything changed since the last call.
+    pub fn graph(&mut self) -> &TxGraph {
+        self.accrete();
+        if self.cached.is_none() {
+            self.cached = Some(self.builder.build());
+        }
+        self.cached.as_ref().expect("graph cached above")
+    }
+}
+
+/// Everything a strategy may look at before an epoch is processed.
+#[derive(Debug)]
+pub struct EpochCtx<'e, 't> {
+    /// The upcoming epoch's transactions (the mempool the oracle sees).
+    pub window: &'t [Transaction],
+    /// The previous epoch's transactions (the recent window incremental
+    /// strategies consume; initially the last τ blocks of training).
+    pub recent_window: &'t [Transaction],
+    /// The committed history up to (excluding) this epoch.
+    pub history: &'e mut History<'t>,
+    /// System parameters of the experiment cell.
+    pub params: SystemParams,
+}
+
+/// How an epoch's account moves are counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationCount {
+    /// The strategy moved accounts itself (allocation-diff moves of a
+    /// miner-driven update); the engine records this number.
+    Moves(usize),
+    /// The strategy submitted migration requests to the beacon chain; the
+    /// engine counts the requests the ledger actually commits.
+    CommittedRequests,
+}
+
+/// What a strategy decided for the upcoming epoch.
+#[derive(Debug)]
+pub struct EpochDecision {
+    /// A full replacement ϕ to install before processing (miner-driven
+    /// recomputation), or `None` if the allocation evolves through the
+    /// beacon chain or not at all.
+    pub new_phi: Option<AccountShardMap>,
+    /// How this epoch's migrations are counted.
+    pub migrations: MigrationCount,
+    /// Wall-clock cost of this epoch's allocation work: the full
+    /// recomputation for miner-driven strategies, the *mean per-client*
+    /// decision time for client-driven ones (the quantity Table IV
+    /// compares). `None` records no timing sample.
+    pub alloc_time: Option<Duration>,
+    /// Bytes of input the allocation consumed (per client for
+    /// client-driven strategies). `None` records no sample.
+    pub input_bytes: Option<f64>,
+}
+
+impl EpochDecision {
+    /// A decision that changes nothing and records a zero-cost sample
+    /// (static strategies).
+    pub fn unchanged() -> Self {
+        EpochDecision {
+            new_phi: None,
+            migrations: MigrationCount::Moves(0),
+            alloc_time: Some(Duration::ZERO),
+            input_bytes: None,
+        }
+    }
+}
+
+/// One allocation mechanism under the §V-A evaluation protocol.
+///
+/// Implementations must be deterministic: the parallel experiment grid
+/// relies on every cell producing identical results regardless of
+/// scheduling (see `experiments::tests::parallel_grid_matches_sequential`).
+pub trait EpochStrategy {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `true` for client-driven strategies (allocation evolves through
+    /// migration requests on the beacon chain; migrations are counted
+    /// from beacon commits rather than reported by the strategy).
+    fn is_client_driven(&self) -> bool {
+        false
+    }
+
+    /// Computes the initial ϕ from the training prefix and returns it
+    /// with the wall-clock time of the allocation itself. `history`
+    /// already contains exactly the training transactions; client-driven
+    /// strategies also ingest `train` into their local client state.
+    fn initial_allocation(
+        &mut self,
+        train: &[Transaction],
+        history: &mut History<'_>,
+        k: u16,
+    ) -> (AccountShardMap, Duration);
+
+    /// Runs the strategy's allocation step for the upcoming epoch. Called
+    /// once per evaluation epoch, *before* the ledger processes
+    /// `ctx.window`; client-driven strategies submit their migration
+    /// requests to `ledger` here.
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision;
+
+    /// Observes the committed window after the ledger processed it
+    /// (client-driven strategies fold it into client histories).
+    fn after_epoch(&mut self, window: &[Transaction]) {
+        let _ = window;
+    }
+}
+
+/// Counts accounts whose shard differs between `old` and `new` (the
+/// implicit migrations a miner-driven update causes).
+pub fn allocation_diff(old: &AccountShardMap, new: &AccountShardMap) -> usize {
+    new.iter()
+        .filter(|&(account, shard)| old.shard_of(account) != shard)
+        .count()
+}
+
+/// Blanket adapter: every miner-driven [`GlobalAllocator`] is an
+/// [`EpochStrategy`] that recomputes ϕ on the full history each epoch
+/// (the paper's "global optimization" row of Table VI). The graph
+/// materialisation happens inside the timed region, exactly as a miner
+/// recomputing from its replicated history would pay for it.
+impl<A: GlobalAllocator> EpochStrategy for A {
+    fn name(&self) -> &'static str {
+        GlobalAllocator::name(self)
+    }
+
+    fn initial_allocation(
+        &mut self,
+        _train: &[Transaction],
+        history: &mut History<'_>,
+        k: u16,
+    ) -> (AccountShardMap, Duration) {
+        let graph = history.graph();
+        time_it(|| self.allocate(graph, k))
+    }
+
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
+        let input_bytes = miner_input_bytes(ctx.history.len()) as f64;
+        // Accretion happens outside the timed region (a miner folds
+        // blocks in as they commit); the CSR construction + allocation is
+        // the per-epoch recomputation Table IV measures, so it is rebuilt
+        // inside `time_it` every epoch — never served from a cache.
+        ctx.history.accrete();
+        let (phi, elapsed) = time_it(|| {
+            let graph = ctx.history.snapshot();
+            self.allocate(&graph, ctx.params.shards())
+        });
+        let moved = allocation_diff(ledger.phi(), &phi);
+        EpochDecision {
+            new_phi: Some(phi),
+            migrations: MigrationCount::Moves(moved),
+            alloc_time: Some(elapsed),
+            input_bytes: Some(input_bytes),
+        }
+    }
+}
+
+/// Adapter for rule-only allocation (the paper's hash-based "Random"
+/// baseline): the initial allocation runs once, then nothing ever moves
+/// and every epoch records a zero-cost sample.
+#[derive(Debug, Clone)]
+pub struct StaticStrategy<A> {
+    allocator: A,
+}
+
+impl<A: GlobalAllocator> StaticStrategy<A> {
+    /// Wraps `allocator` as a never-recomputing strategy.
+    pub fn new(allocator: A) -> Self {
+        StaticStrategy { allocator }
+    }
+}
+
+impl<A: GlobalAllocator> EpochStrategy for StaticStrategy<A> {
+    fn name(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    fn initial_allocation(
+        &mut self,
+        _train: &[Transaction],
+        history: &mut History<'_>,
+        k: u16,
+    ) -> (AccountShardMap, Duration) {
+        let graph = history.graph();
+        time_it(|| self.allocator.allocate(graph, k))
+    }
+
+    fn before_epoch(&mut self, _ledger: &mut Ledger, _ctx: EpochCtx<'_, '_>) -> EpochDecision {
+        EpochDecision::unchanged()
+    }
+}
+
+/// Adapter for the incremental A-TxAllo baseline: the initial ϕ is
+/// G-TxAllo's result on the training prefix (§V-B), then each epoch only
+/// the accounts active in the recent window are re-placed.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTxAllo {
+    init: GTxAllo,
+    update: ATxAllo,
+}
+
+impl AdaptiveTxAllo {
+    /// Builds the adapter from a shared TxAllo configuration.
+    pub fn new(config: TxAlloConfig) -> Self {
+        AdaptiveTxAllo {
+            init: GTxAllo::new(config),
+            update: ATxAllo::new(config),
+        }
+    }
+}
+
+impl EpochStrategy for AdaptiveTxAllo {
+    fn name(&self) -> &'static str {
+        "A-TxAllo"
+    }
+
+    fn initial_allocation(
+        &mut self,
+        _train: &[Transaction],
+        history: &mut History<'_>,
+        k: u16,
+    ) -> (AccountShardMap, Duration) {
+        let graph = history.graph();
+        time_it(|| self.init.allocate(graph, k))
+    }
+
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
+        let mut phi = ledger.phi().clone();
+        let (moved, elapsed) = time_it(|| self.update.update(&mut phi, ctx.recent_window));
+        EpochDecision {
+            new_phi: Some(phi),
+            migrations: MigrationCount::Moves(moved),
+            alloc_time: Some(elapsed),
+            input_bytes: Some(miner_input_bytes(ctx.recent_window.len()) as f64),
+        }
+    }
+}
+
+/// Adapter for the client-driven Mosaic framework with an arbitrary
+/// client policy — [`mosaic_core::policy::PilotPolicy`] reproduces the
+/// paper; the other policies in [`mosaic_core::policy`] ablate Pilot's
+/// two decision signals.
+///
+/// Each epoch follows §V-A: the oracle publishes `Ω` from the upcoming
+/// window under the current ϕ, clients receive their β-sample of
+/// expected transactions, every client runs its policy and proposes
+/// migrations, the ledger commits ≤ λ of them while processing the
+/// window, and clients observe the committed transactions.
+#[derive(Debug, Clone)]
+pub struct MosaicStrategy<P> {
+    params: SystemParams,
+    framework: MosaicFramework<P>,
+    init: GTxAllo,
+}
+
+impl<P: ClientPolicy> MosaicStrategy<P> {
+    /// Builds the client population for one experiment cell.
+    pub fn new(params: SystemParams, policy: P) -> Self {
+        MosaicStrategy {
+            params,
+            framework: MosaicFramework::with_policy(params, policy),
+            init: GTxAllo::new(TxAlloConfig::with_eta(params.eta())),
+        }
+    }
+}
+
+impl<P: ClientPolicy> EpochStrategy for MosaicStrategy<P> {
+    fn name(&self) -> &'static str {
+        "Pilot"
+    }
+
+    fn is_client_driven(&self) -> bool {
+        true
+    }
+
+    fn initial_allocation(
+        &mut self,
+        train: &[Transaction],
+        history: &mut History<'_>,
+        k: u16,
+    ) -> (AccountShardMap, Duration) {
+        // §V-B: ϕ is initialised with G-TxAllo's result; clients preload
+        // their histories from the training transactions.
+        self.framework.observe_epoch(train);
+        let graph = history.graph();
+        time_it(|| self.init.allocate(graph, k))
+    }
+
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
+        // The client population was sized and seeded from construction
+        // params; running it under a different cell would silently skew Ω
+        // (or index out of shard bounds), so mismatches fail loudly.
+        assert_eq!(
+            ctx.params, self.params,
+            "MosaicStrategy was built with different SystemParams than the experiment cell"
+        );
+
+        // Step 1: mempool-derived workload distribution Ω (§V-A).
+        let lambda = ctx.params.lambda(ctx.window.len());
+        let omega = EpochLoad::compute(
+            ctx.window,
+            LoadParams {
+                shards: ctx.params.shards(),
+                eta: ctx.params.eta(),
+                lambda,
+            },
+            |a| ledger.phi().shard_of(a),
+        )
+        .workload_vector();
+
+        // Step 2: future knowledge (β-sample of the upcoming window).
+        self.framework.set_expectations(ctx.window);
+
+        // Step 3: every client proposes; requests land on the beacon.
+        let report = self.framework.propose(ledger, &omega);
+
+        EpochDecision {
+            new_phi: None,
+            migrations: MigrationCount::CommittedRequests,
+            alloc_time: Some(report.mean_decision_time),
+            input_bytes: Some(report.mean_input_bytes),
+        }
+    }
+
+    fn after_epoch(&mut self, window: &[Transaction]) {
+        self.framework.observe_epoch(window);
+    }
+}
+
+/// Runs one experiment cell with an explicit strategy — **the** epoch
+/// loop of the crate. [`crate::runner::run`] resolves the strategy from
+/// the registry and delegates here; custom strategies (new mechanisms,
+/// ablation policies) are passed in directly.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+pub fn run_with(
+    config: &ExperimentConfig,
+    trace: &TransactionTrace,
+    strategy: &mut dyn EpochStrategy,
+) -> ExperimentResult {
+    assert!(!trace.is_empty(), "experiment needs a non-empty trace");
+    let params = config.params;
+    let tau = params.tau();
+
+    let (train, _eval) = trace.split_at_fraction(config.train_fraction);
+    let max_block = trace.max_block().expect("non-empty trace");
+    let cut_block = BlockHeight::new(
+        (((max_block.as_u64() + 1) as f64) * config.train_fraction).floor() as u64,
+    );
+
+    let mut history = History::new();
+    history.extend(train);
+    let (initial_phi, init_time) =
+        strategy.initial_allocation(train, &mut history, params.shards());
+
+    let mut ledger =
+        Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
+    ledger.set_migration_capacity(config.migration_capacity);
+
+    // The first "recent window" is the last τ blocks of training.
+    let mut recent_window = trace.block_range(
+        BlockHeight::new(cut_block.as_u64().saturating_sub(u64::from(tau))),
+        cut_block,
+    );
+
+    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
+    let mut alloc_stats = DurationStats::new();
+    let mut input_bytes_sum = 0.0f64;
+    let mut input_samples = 0usize;
+    let mut total_migrations = 0usize;
+
+    for window in trace.epoch_windows(cut_block, tau).take(config.eval_epochs) {
+        let decision = strategy.before_epoch(
+            &mut ledger,
+            EpochCtx {
+                window,
+                recent_window,
+                history: &mut history,
+                params,
+            },
+        );
+        if let Some(elapsed) = decision.alloc_time {
+            alloc_stats.record(elapsed);
+        }
+        if let Some(bytes) = decision.input_bytes {
+            input_bytes_sum += bytes;
+            input_samples += 1;
+        }
+        if let Some(phi) = decision.new_phi {
+            ledger.set_allocation(phi).expect("same shard count");
+        }
+
+        let outcome = ledger.process_epoch(window);
+        let migrations = match decision.migrations {
+            MigrationCount::Moves(n) => n,
+            MigrationCount::CommittedRequests => outcome.committed.len(),
+        };
+        total_migrations += migrations;
+        per_epoch.push(EpochMetrics::from_load(&outcome.load, migrations));
+
+        strategy.after_epoch(window);
+        history.extend(window);
+        recent_window = window;
+    }
+
+    ExperimentResult {
+        strategy: config.strategy,
+        params,
+        aggregate: Aggregate::over(&per_epoch),
+        per_epoch,
+        init_seconds: init_time.as_secs_f64(),
+        mean_alloc_seconds: alloc_stats.mean_seconds(),
+        mean_input_bytes: if input_samples == 0 {
+            0.0
+        } else {
+            input_bytes_sum / input_samples as f64
+        },
+        total_migrations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_core::policy::PilotPolicy;
+    use mosaic_partition::HashAllocator;
+    use mosaic_types::{AccountId, TxId};
+
+    fn tx(id: u64, from: u64, to: u64, block: u64) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            AccountId::new(from),
+            AccountId::new(to),
+            BlockHeight::new(block),
+        )
+    }
+
+    #[test]
+    fn history_accretes_lazily() {
+        let a: Vec<Transaction> = (0..10).map(|i| tx(i, 1, 2, i)).collect();
+        let b: Vec<Transaction> = (10..14).map(|i| tx(i, 2, 3, i)).collect();
+        let mut h = History::new();
+        assert!(h.is_empty());
+        h.extend(&a);
+        h.extend(&b);
+        assert_eq!(h.len(), 14);
+        let edge_count = h.graph().edge_count();
+        assert_eq!(edge_count, 2);
+        // Cached: a second call cheaply returns the same snapshot.
+        assert_eq!(h.graph().edge_count(), edge_count);
+    }
+
+    #[test]
+    fn strategies_report_their_kind() {
+        let params = SystemParams::builder().shards(4).tau(10).build().unwrap();
+        let mosaic = MosaicStrategy::new(params, PilotPolicy);
+        assert!(mosaic.is_client_driven());
+        assert_eq!(mosaic.name(), "Pilot");
+        let adaptive = AdaptiveTxAllo::new(TxAlloConfig::with_eta(2.0));
+        assert!(!adaptive.is_client_driven());
+        let hash = StaticStrategy::new(HashAllocator::chainspace());
+        assert_eq!(hash.name(), "Random");
+        // The blanket impl adapts any GlobalAllocator.
+        let g: &dyn EpochStrategy = &GTxAllo::new(TxAlloConfig::with_eta(2.0));
+        assert_eq!(g.name(), "G-TxAllo");
+        assert!(!g.is_client_driven());
+    }
+
+    #[test]
+    fn unchanged_decision_is_truly_inert() {
+        let d = EpochDecision::unchanged();
+        assert!(d.new_phi.is_none());
+        assert_eq!(d.migrations, MigrationCount::Moves(0));
+        assert_eq!(d.alloc_time, Some(Duration::ZERO));
+        assert!(d.input_bytes.is_none());
+    }
+}

@@ -4,14 +4,20 @@
 //! original so the report binaries (`crates/bench/src/bin/table*.rs`)
 //! can print them directly. See `EXPERIMENTS.md` at the repository root
 //! for the paper-vs-measured record.
+//!
+//! All grids run their independent cells on a worker pool via
+//! [`crate::parallel::ordered_map`]; results are order-stable and — the
+//! engine being deterministic — byte-identical to a sequential run on
+//! the same seed.
 
 use mosaic_metrics::data_size::human_bytes;
 use mosaic_metrics::TextTable;
 use mosaic_types::SystemParams;
 use mosaic_workload::{generate, TransactionTrace};
 
+use crate::parallel::{ordered_map, Parallelism};
 use crate::radar::RadarAxis;
-use crate::runner::{run, ExperimentConfig, ExperimentResult};
+use crate::runner::{run, run_custom, ExperimentConfig, ExperimentResult};
 use crate::scale::Scale;
 use crate::strategy::Strategy;
 
@@ -45,44 +51,49 @@ pub fn parameter_sets(tau: u32) -> Vec<(String, SystemParams)> {
     ]
 }
 
-/// Runs the full effectiveness grid: every parameter set × every
-/// strategy, all on the same generated trace. Strategies within a
-/// parameter set run on separate threads.
-pub fn effectiveness_grid(scale: &Scale) -> Vec<GridCell> {
-    let trace = generate(&scale.workload).into_trace();
-    let mut cells = Vec::new();
+/// The flat cell list of the effectiveness grid: every parameter set ×
+/// every strategy, in the paper's report order.
+pub fn grid_specs(scale: &Scale) -> Vec<(String, ExperimentConfig)> {
+    let mut specs = Vec::new();
     for (label, params) in parameter_sets(scale.tau) {
-        let results = run_strategies(&trace, params, scale.eval_epochs, &Strategy::ALL);
-        for result in results {
-            cells.push(GridCell {
-                param_label: label.clone(),
-                result,
-            });
+        for strategy in Strategy::ALL {
+            specs.push((
+                label.clone(),
+                ExperimentConfig::new(params, strategy, scale.eval_epochs),
+            ));
         }
     }
-    cells
+    specs
 }
 
-/// Runs a set of strategies in parallel over a shared trace.
+/// Runs the full effectiveness grid — every parameter set × every
+/// strategy, all on the same generated trace — across the worker pool.
+pub fn effectiveness_grid(scale: &Scale) -> Vec<GridCell> {
+    effectiveness_grid_with(scale, Parallelism::Auto)
+}
+
+/// [`effectiveness_grid`] with explicit worker-pool sizing. The result
+/// is independent of the parallelism level (cells are deterministic and
+/// collected in input order).
+pub fn effectiveness_grid_with(scale: &Scale, parallelism: Parallelism) -> Vec<GridCell> {
+    let trace = generate(&scale.workload).into_trace();
+    let specs = grid_specs(scale);
+    ordered_map(&specs, parallelism, |(label, config)| GridCell {
+        param_label: label.clone(),
+        result: run(config, &trace),
+    })
+}
+
+/// Runs a set of strategies in parallel over a shared trace, returning
+/// results in the strategies' order.
 pub fn run_strategies(
     trace: &TransactionTrace,
     params: SystemParams,
     eval_epochs: usize,
     strategies: &[Strategy],
 ) -> Vec<ExperimentResult> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = strategies
-            .iter()
-            .map(|&strategy| {
-                scope.spawn(move || {
-                    run(&ExperimentConfig::new(params, strategy, eval_epochs), trace)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
+    ordered_map(strategies, Parallelism::Auto, |&strategy| {
+        run(&ExperimentConfig::new(params, strategy, eval_epochs), trace)
     })
 }
 
@@ -238,30 +249,18 @@ pub fn table4(cells: &[GridCell]) -> TextTable {
 pub fn table5(scale: &Scale) -> TextTable {
     let trace = generate(&scale.workload).into_trace();
     let betas = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let results: Vec<ExperimentResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = betas
-            .iter()
-            .map(|&beta| {
-                let trace = &trace;
-                scope.spawn(move || {
-                    let params = SystemParams::builder()
-                        .shards(4)
-                        .eta(2.0)
-                        .tau(scale.tau)
-                        .beta(beta)
-                        .build()
-                        .expect("valid beta");
-                    run(
-                        &ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs),
-                        trace,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("beta sweep thread panicked"))
-            .collect()
+    let results = ordered_map(&betas, Parallelism::Auto, |&beta| {
+        let params = SystemParams::builder()
+            .shards(4)
+            .eta(2.0)
+            .tau(scale.tau)
+            .beta(beta)
+            .build()
+            .expect("valid beta");
+        run(
+            &ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs),
+            &trace,
+        )
     });
 
     let mut t = TextTable::new(["Metrics", "Ratio", "Throughput", "Workload"]);
@@ -322,18 +321,11 @@ pub fn table6(cells: &[GridCell], scale: &Scale) -> TextTable {
         format!(
             "{} + {} (MR)",
             human_bytes((window_txs / k * tx_bytes) as f64),
-            human_bytes(
-                (mr_total / (mosaic.per_epoch.len().max(1) as u64) * mr_bytes) as f64
-            )
+            human_bytes((mr_total / (mosaic.per_epoch.len().max(1) as u64) * mr_bytes) as f64)
         ),
         human_bytes((window_txs / k * tx_bytes) as f64),
     ]);
-    t.push_row([
-        "Computation incentives",
-        "no",
-        "yes (client benefit)",
-        "no",
-    ]);
+    t.push_row(["Computation incentives", "no", "yes (client benefit)", "no"]);
     t.push_row(["Allocation controllability", "no", "yes", "no"]);
     t.push_row(["Allocation of new accounts", "no", "yes", "yes"]);
     t.push_row(["Future expected transactions", "no", "yes", "no"]);
@@ -425,8 +417,10 @@ pub fn fig1(cells: &[GridCell], scale: &Scale) -> TextTable {
 
 /// **Ablation (beyond the paper)** — Pilot versus policies that use only
 /// one of its two signals (interactions / workload) or none (sticky),
-/// at `k = 16`, `η = 2`.
+/// at `k = 16`, `η = 2`. Each policy runs as a [`MosaicStrategy`]
+/// through the same unified pipeline as the main grid.
 pub fn policy_ablation(scale: &Scale) -> TextTable {
+    use crate::engine::{EpochStrategy, MosaicStrategy};
     use mosaic_core::policy::{
         InteractionOnlyPolicy, PilotPolicy, StickyPolicy, WorkloadOnlyPolicy,
     };
@@ -440,28 +434,20 @@ pub fn policy_ablation(scale: &Scale) -> TextTable {
         .expect("valid ablation params");
     let config = ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs);
 
-    let (pilot, interaction, workload, sticky) = std::thread::scope(|scope| {
-        let t = &trace;
-        let c = &config;
-        let h1 = scope.spawn(move || crate::runner::run_mosaic(c, t, PilotPolicy));
-        let h2 = scope.spawn(move || crate::runner::run_mosaic(c, t, InteractionOnlyPolicy));
-        let h3 = scope.spawn(move || crate::runner::run_mosaic(c, t, WorkloadOnlyPolicy));
-        let h4 = scope.spawn(move || crate::runner::run_mosaic(c, t, StickyPolicy));
-        (
-            h1.join().expect("pilot"),
-            h2.join().expect("interaction"),
-            h3.join().expect("workload"),
-            h4.join().expect("sticky"),
-        )
+    let policies = ["Pilot", "InteractionOnly", "WorkloadOnly", "Sticky"];
+    let results = ordered_map(&policies, Parallelism::Auto, |&name| {
+        let mut strategy: Box<dyn EpochStrategy> = match name {
+            "Pilot" => Box::new(MosaicStrategy::new(params, PilotPolicy)),
+            "InteractionOnly" => Box::new(MosaicStrategy::new(params, InteractionOnlyPolicy)),
+            "WorkloadOnly" => Box::new(MosaicStrategy::new(params, WorkloadOnlyPolicy)),
+            "Sticky" => Box::new(MosaicStrategy::new(params, StickyPolicy)),
+            other => unreachable!("unknown ablation policy {other}"),
+        };
+        run_custom(&config, &trace, strategy.as_mut())
     });
 
     let mut t = TextTable::new(["Policy", "Ratio", "Throughput", "Workload", "Migrations"]);
-    for (name, r) in [
-        ("Pilot", &pilot),
-        ("InteractionOnly", &interaction),
-        ("WorkloadOnly", &workload),
-        ("Sticky", &sticky),
-    ] {
+    for (name, r) in policies.iter().zip(&results) {
         t.push_row([
             name.to_string(),
             format!("{:.2}%", r.aggregate.cross_ratio * 100.0),
@@ -489,12 +475,8 @@ pub fn capacity_ablation(scale: &Scale) -> TextTable {
         migration_capacity: Some(usize::MAX),
         ..bounded_cfg
     };
-    let (bounded, unbounded) = std::thread::scope(|scope| {
-        let t = &trace;
-        let h1 = scope.spawn(move || run(&bounded_cfg, t));
-        let h2 = scope.spawn(move || run(&unbounded_cfg, t));
-        (h1.join().expect("bounded"), h2.join().expect("unbounded"))
-    });
+    let configs = [bounded_cfg, unbounded_cfg];
+    let results = ordered_map(&configs, Parallelism::Auto, |config| run(config, &trace));
 
     let mut t = TextTable::new([
         "Beacon capacity",
@@ -503,7 +485,10 @@ pub fn capacity_ablation(scale: &Scale) -> TextTable {
         "Workload",
         "Migrations",
     ]);
-    for (name, r) in [("λ-bounded (paper)", &bounded), ("unbounded", &unbounded)] {
+    for (name, r) in [
+        ("λ-bounded (paper)", &results[0]),
+        ("unbounded", &results[1]),
+    ] {
         t.push_row([
             name.to_string(),
             format!("{:.2}%", r.aggregate.cross_ratio * 100.0),
@@ -544,32 +529,13 @@ pub fn churn_ablation(scale: &Scale) -> TextTable {
     ]);
     for &rate in &rates {
         let trace = generate(&scale.workload.clone().with_churn(rate)).into_trace();
-        let (pilot, pilot_informed, gtxallo) = std::thread::scope(|scope| {
-            let t = &trace;
-            let h1 = scope.spawn(move || {
-                run(
-                    &ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs),
-                    t,
-                )
-            });
-            let h2 = scope.spawn(move || {
-                run(
-                    &ExperimentConfig::new(informed, Strategy::Mosaic, scale.eval_epochs),
-                    t,
-                )
-            });
-            let h3 = scope.spawn(move || {
-                run(
-                    &ExperimentConfig::new(params, Strategy::GTxAllo, scale.eval_epochs),
-                    t,
-                )
-            });
-            (
-                h1.join().expect("pilot"),
-                h2.join().expect("pilot informed"),
-                h3.join().expect("g-txallo"),
-            )
-        });
+        let configs = [
+            ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs),
+            ExperimentConfig::new(informed, Strategy::Mosaic, scale.eval_epochs),
+            ExperimentConfig::new(params, Strategy::GTxAllo, scale.eval_epochs),
+        ];
+        let results = ordered_map(&configs, Parallelism::Auto, |config| run(config, &trace));
+        let (pilot, pilot_informed, gtxallo) = (&results[0], &results[1], &results[2]);
         t.push_row([
             format!("{rate}"),
             format!("{:.2}%", pilot.aggregate.cross_ratio * 100.0),
@@ -616,11 +582,30 @@ mod tests {
             let random = find(&cells, &label, Strategy::Random).aggregate.cross_ratio;
             for s in [Strategy::Mosaic, Strategy::GTxAllo, Strategy::Metis] {
                 let other = find(&cells, &label, s).aggregate.cross_ratio;
-                assert!(
-                    other < random,
-                    "{label}/{s}: {other} !< random {random}"
-                );
+                assert!(other < random, "{label}/{s}: {other} !< random {random}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential() {
+        // Determinism of the parallel pipeline: same seed ⇒ byte-identical
+        // CSV series and identical cell order, regardless of scheduling.
+        let scale = Scale::quick();
+        let sequential = effectiveness_grid_with(&scale, Parallelism::Sequential);
+        let parallel = effectiveness_grid_with(&scale, Parallelism::Auto);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.param_label, p.param_label);
+            assert_eq!(s.result.strategy, p.result.strategy);
+            assert_eq!(
+                s.result.to_csv(),
+                p.result.to_csv(),
+                "{} / {} diverged between sequential and parallel runs",
+                s.param_label,
+                s.result.strategy
+            );
+            assert_eq!(s.result.total_migrations, p.result.total_migrations);
         }
     }
 

@@ -3,18 +3,25 @@
 //!
 //! The crate wires every other crate together:
 //!
+//! * [`engine`] — the unified epoch pipeline: the [`EpochStrategy`]
+//!   trait every allocation mechanism implements, and
+//!   [`engine::run_with`], the crate's **single** epoch loop;
 //! * [`Strategy`] — the five allocation strategies under test: Mosaic
 //!   (client-driven Pilot), G-TxAllo, A-TxAllo, Metis, and hash-based
-//!   Random;
+//!   Random — plus the registry ([`Strategy::build`]) resolving each to
+//!   its [`EpochStrategy`] implementation;
 //! * [`Scale`] — workload/epoch presets (`quick` for tests, `default`
 //!   for commodity-hardware runs, `full` for the paper's 200-epoch
 //!   protocol);
-//! * [`runner`] — the 90/10 train–eval protocol: initial allocation on
-//!   the training prefix, then per-epoch allocation updates and metric
-//!   collection over the evaluation epochs;
+//! * [`runner`] — the 90/10 train–eval protocol: [`runner::run`] for
+//!   registry strategies, [`runner::run_custom`] for caller-supplied
+//!   [`EpochStrategy`] implementations;
+//! * [`parallel`] — order-stable parallel execution of independent
+//!   experiment cells (same seed ⇒ byte-identical results, sequential
+//!   or parallel);
 //! * [`experiments`] — one function per paper table/figure (Tables I–VI,
 //!   Figure 1), each returning a [`mosaic_metrics::TextTable`] shaped
-//!   like the original.
+//!   like the original, computed on a parallel cell grid.
 //!
 //! # Example
 //!
@@ -28,12 +35,16 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod engine;
 pub mod experiments;
+pub mod parallel;
 pub mod radar;
 pub mod runner;
 pub mod scale;
 pub mod strategy;
 
+pub use engine::{EpochCtx, EpochDecision, EpochStrategy, MigrationCount, MosaicStrategy};
+pub use parallel::Parallelism;
 pub use runner::{ExperimentConfig, ExperimentResult};
 pub use scale::Scale;
 pub use strategy::Strategy;

@@ -51,7 +51,7 @@ impl RadarAxis {
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        if !(max > min) {
+        if max <= min {
             return vec![3.0; self.values.len()];
         }
         self.values

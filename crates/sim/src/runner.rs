@@ -4,19 +4,19 @@
 //! while the remaining 10% is reserved for evaluation. … Evaluation
 //! metrics are calculated using the data from the current epoch based on
 //! the allocation results computed at the end of the preceding epoch."
+//!
+//! The protocol itself — train/eval split, graph accretion, per-epoch
+//! allocation and metric collection — lives in [`crate::engine::run_with`],
+//! the crate's single epoch loop. This module defines the experiment
+//! cell ([`ExperimentConfig`]) and its measured outcome
+//! ([`ExperimentResult`]); [`run`] resolves the configured [`Strategy`]
+//! through the registry and delegates.
 
-use mosaic_chain::Ledger;
-use mosaic_core::policy::PilotPolicy;
-use mosaic_core::{ClientPolicy, MosaicFramework};
-use mosaic_metrics::data_size::miner_input_bytes;
-use mosaic_metrics::timing::{time_it, DurationStats};
 use mosaic_metrics::{Aggregate, EpochMetrics};
-use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
-use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
-use mosaic_txgraph::GraphBuilder;
-use mosaic_types::{AccountShardMap, BlockHeight, SystemParams, Transaction};
+use mosaic_types::SystemParams;
 use mosaic_workload::TransactionTrace;
 
+use crate::engine::{self, EpochStrategy};
 use crate::strategy::Strategy;
 
 /// Configuration of one experiment cell (one strategy × one parameter
@@ -101,7 +101,9 @@ impl ExperimentResult {
     }
 }
 
-/// Runs one experiment cell over `trace`.
+/// Runs one experiment cell over `trace`: resolves `config.strategy`
+/// through the registry ([`Strategy::build`]) and drives it through the
+/// unified epoch pipeline.
 ///
 /// # Panics
 ///
@@ -109,206 +111,20 @@ impl ExperimentResult {
 /// (mismatched shard counts cannot occur — the ledger is built from
 /// `config.params`).
 pub fn run(config: &ExperimentConfig, trace: &TransactionTrace) -> ExperimentResult {
-    assert!(!trace.is_empty(), "experiment needs a non-empty trace");
-    if config.strategy == Strategy::Mosaic {
-        return run_mosaic(config, trace, PilotPolicy);
-    }
-    let params = config.params;
-    let k = params.shards();
-    let tau = params.tau();
-
-    let (train, _eval) = trace.split_at_fraction(config.train_fraction);
-    let max_block = trace.max_block().expect("non-empty trace");
-    let cut_block = BlockHeight::new(
-        (((max_block.as_u64() + 1) as f64) * config.train_fraction).floor() as u64,
-    );
-
-    // Historical graph of the training prefix; extended epoch by epoch
-    // for the full-history strategies.
-    let mut builder = GraphBuilder::new();
-    builder.add_transactions(train);
-
-    let txallo_cfg = TxAlloConfig::with_eta(params.eta());
-    let gtxallo = GTxAllo::new(txallo_cfg);
-    let atxallo = ATxAllo::new(txallo_cfg);
-    let metis = MetisPartitioner::default();
-    let hash = HashAllocator::chainspace();
-
-    // Initial allocation (§V-B: Pilot's ϕ is initialised with TxAllo's
-    // result; baselines use their own; hash is rule-only).
-    let (initial_phi, init_time) = {
-        let graph = builder.build();
-        match config.strategy {
-            Strategy::Random => time_it(|| hash.allocate(&graph, k)),
-            Strategy::Metis => time_it(|| metis.allocate(&graph, k)),
-            Strategy::GTxAllo | Strategy::ATxAllo | Strategy::Mosaic => {
-                time_it(|| gtxallo.allocate(&graph, k))
-            }
-        }
-    };
-
-    let mut ledger =
-        Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
-
-    // A-TxAllo's first "recent window" is the last τ blocks of training.
-    let mut prev_window: Vec<Transaction> = trace
-        .block_range(
-            BlockHeight::new(cut_block.as_u64().saturating_sub(u64::from(tau))),
-            cut_block,
-        )
-        .to_vec();
-    let mut history_txs = train.len();
-
-    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
-    let mut alloc_stats = DurationStats::new();
-    let mut input_bytes_sum = 0.0f64;
-    let mut input_samples = 0usize;
-    let mut total_migrations = 0usize;
-
-    for window in trace
-        .epoch_windows(cut_block, tau)
-        .take(config.eval_epochs)
-    {
-        let (outcome, migrations) = match config.strategy {
-            Strategy::Random => {
-                alloc_stats.record(std::time::Duration::ZERO);
-                (ledger.process_epoch(window), 0)
-            }
-            Strategy::Metis | Strategy::GTxAllo => {
-                let (phi, t) = if config.strategy == Strategy::Metis {
-                    time_it(|| {
-                        let graph = builder.build();
-                        metis.allocate(&graph, k)
-                    })
-                } else {
-                    time_it(|| {
-                        let graph = builder.build();
-                        gtxallo.allocate(&graph, k)
-                    })
-                };
-                alloc_stats.record(t);
-                input_bytes_sum += miner_input_bytes(history_txs) as f64;
-                input_samples += 1;
-                let moved = allocation_diff(ledger.phi(), &phi);
-                ledger.set_allocation(phi).expect("same shard count");
-                (ledger.process_epoch(window), moved)
-            }
-            Strategy::ATxAllo => {
-                let mut phi = ledger.phi().clone();
-                let (moved, t) = time_it(|| atxallo.update(&mut phi, &prev_window));
-                alloc_stats.record(t);
-                input_bytes_sum += miner_input_bytes(prev_window.len()) as f64;
-                input_samples += 1;
-                ledger.set_allocation(phi).expect("same shard count");
-                (ledger.process_epoch(window), moved)
-            }
-            Strategy::Mosaic => unreachable!("handled by run_mosaic"),
-        };
-
-        total_migrations += migrations;
-        per_epoch.push(EpochMetrics::from_load(&outcome.load, migrations));
-
-        // The processed window becomes history for the next allocation.
-        builder.add_transactions(window);
-        history_txs += window.len();
-        prev_window = window.to_vec();
-    }
-
-    ExperimentResult {
-        strategy: config.strategy,
-        params,
-        aggregate: Aggregate::over(&per_epoch),
-        per_epoch,
-        init_seconds: init_time.as_secs_f64(),
-        mean_alloc_seconds: alloc_stats.mean_seconds(),
-        mean_input_bytes: if input_samples == 0 {
-            0.0
-        } else {
-            input_bytes_sum / input_samples as f64
-        },
-        total_migrations,
-    }
+    let mut strategy = config.strategy.build(config.params);
+    engine::run_with(config, trace, strategy.as_mut())
 }
 
-/// Runs the client-driven (Mosaic) protocol with an arbitrary client
-/// policy — [`PilotPolicy`] reproduces the paper; the other policies in
-/// [`mosaic_core::policy`] ablate Pilot's two decision signals.
-///
-/// The initial ϕ is G-TxAllo's result on the training prefix (§V-B),
-/// client histories are preloaded from the training transactions, and
-/// each evaluation epoch follows the §V-A protocol via
-/// [`MosaicFramework::run_epoch`].
-pub fn run_mosaic<P: ClientPolicy>(
+/// Runs one experiment cell with a caller-supplied strategy — the entry
+/// point for mechanisms outside the [`Strategy`] registry (ablation
+/// policies, experimental allocators). `config.strategy` is still used
+/// to label the result.
+pub fn run_custom(
     config: &ExperimentConfig,
     trace: &TransactionTrace,
-    policy: P,
+    strategy: &mut dyn EpochStrategy,
 ) -> ExperimentResult {
-    assert!(!trace.is_empty(), "experiment needs a non-empty trace");
-    let params = config.params;
-    let k = params.shards();
-    let tau = params.tau();
-
-    let (train, _eval) = trace.split_at_fraction(config.train_fraction);
-    let max_block = trace.max_block().expect("non-empty trace");
-    let cut_block = BlockHeight::new(
-        (((max_block.as_u64() + 1) as f64) * config.train_fraction).floor() as u64,
-    );
-
-    let (initial_phi, init_time) = {
-        let mut builder = GraphBuilder::new();
-        builder.add_transactions(train);
-        let graph = builder.build();
-        let gtxallo = GTxAllo::new(TxAlloConfig::with_eta(params.eta()));
-        time_it(|| gtxallo.allocate(&graph, k))
-    };
-
-    let mut ledger =
-        Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
-    ledger.set_migration_capacity(config.migration_capacity);
-    let mut framework = MosaicFramework::with_policy(params, policy);
-    framework.observe_epoch(train);
-
-    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
-    let mut alloc_stats = DurationStats::new();
-    let mut input_bytes_sum = 0.0f64;
-    let mut input_samples = 0usize;
-    let mut total_migrations = 0usize;
-
-    for window in trace
-        .epoch_windows(cut_block, tau)
-        .take(config.eval_epochs)
-    {
-        let (outcome, report) = framework.run_epoch(&mut ledger, window);
-        alloc_stats.record(report.mean_decision_time);
-        input_bytes_sum += report.mean_input_bytes;
-        input_samples += 1;
-        let committed = outcome.committed.len();
-        total_migrations += committed;
-        per_epoch.push(EpochMetrics::from_load(&outcome.load, committed));
-    }
-
-    ExperimentResult {
-        strategy: Strategy::Mosaic,
-        params,
-        aggregate: Aggregate::over(&per_epoch),
-        per_epoch,
-        init_seconds: init_time.as_secs_f64(),
-        mean_alloc_seconds: alloc_stats.mean_seconds(),
-        mean_input_bytes: if input_samples == 0 {
-            0.0
-        } else {
-            input_bytes_sum / input_samples as f64
-        },
-        total_migrations,
-    }
-}
-
-/// Counts accounts whose shard differs between `old` and `new` (the
-/// implicit migrations a miner-driven update causes).
-fn allocation_diff(old: &AccountShardMap, new: &AccountShardMap) -> usize {
-    new.iter()
-        .filter(|&(account, shard)| old.shard_of(account) != shard)
-        .count()
+    engine::run_with(config, trace, strategy)
 }
 
 #[cfg(test)]
@@ -390,8 +206,7 @@ mod tests {
         let result = run(&quick_config(Strategy::Mosaic, 4), &trace);
         let scale = Scale::quick();
         // λ = |T_epoch|/k; epochs have tau × txs_per_block transactions.
-        let lambda =
-            (u64::from(scale.tau) as usize * scale.workload.txs_per_block) as f64 / 4.0;
+        let lambda = (u64::from(scale.tau) as usize * scale.workload.txs_per_block) as f64 / 4.0;
         for epoch in &result.per_epoch {
             assert!(
                 (epoch.migrations as f64) <= lambda + 1.0,
@@ -425,5 +240,16 @@ mod tests {
         let b = run(&quick_config(Strategy::Mosaic, 4), &trace);
         assert_eq!(a.per_epoch, b.per_epoch);
         assert_eq!(a.total_migrations, b.total_migrations);
+    }
+
+    #[test]
+    fn run_custom_matches_registry_run() {
+        let trace = quick_trace();
+        let config = quick_config(Strategy::ATxAllo, 4);
+        let registry = run(&config, &trace);
+        let mut strategy = config.strategy.build(config.params);
+        let custom = run_custom(&config, &trace, strategy.as_mut());
+        assert_eq!(registry.per_epoch, custom.per_epoch);
+        assert_eq!(registry.total_migrations, custom.total_migrations);
     }
 }

@@ -1,6 +1,14 @@
-//! The allocation strategies under evaluation.
+//! The allocation strategies under evaluation, and the registry mapping
+//! them to [`EpochStrategy`] implementations.
 
 use std::fmt;
+
+use mosaic_core::policy::PilotPolicy;
+use mosaic_partition::{HashAllocator, MetisPartitioner};
+use mosaic_txallo::{GTxAllo, TxAlloConfig};
+use mosaic_types::SystemParams;
+
+use crate::engine::{AdaptiveTxAllo, EpochStrategy, MosaicStrategy, StaticStrategy};
 
 /// One of the five allocation strategies the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +58,23 @@ impl Strategy {
     pub fn is_static(&self) -> bool {
         matches!(self, Strategy::Random)
     }
+
+    /// The registry: resolves this strategy to its [`EpochStrategy`]
+    /// implementation for one experiment cell. This is the *only* place
+    /// the five paper strategies are matched — the epoch protocol itself
+    /// ([`crate::engine::run_with`]) is strategy-agnostic, so adding a
+    /// sixth mechanism means implementing [`EpochStrategy`] and (if it
+    /// should appear in the tables) adding one arm here.
+    pub fn build(&self, params: SystemParams) -> Box<dyn EpochStrategy> {
+        let txallo_cfg = TxAlloConfig::with_eta(params.eta());
+        match self {
+            Strategy::Mosaic => Box::new(MosaicStrategy::new(params, PilotPolicy)),
+            Strategy::GTxAllo => Box::new(GTxAllo::new(txallo_cfg)),
+            Strategy::ATxAllo => Box::new(AdaptiveTxAllo::new(txallo_cfg)),
+            Strategy::Metis => Box::new(MetisPartitioner::default()),
+            Strategy::Random => Box::new(StaticStrategy::new(HashAllocator::chainspace())),
+        }
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -77,5 +102,23 @@ mod tests {
         assert!(Strategy::Random.is_static());
         assert!(!Strategy::Mosaic.is_static());
         assert_eq!(Strategy::Mosaic.to_string(), "Pilot");
+    }
+
+    #[test]
+    fn registry_agrees_with_enum_metadata() {
+        let params = mosaic_types::SystemParams::builder()
+            .shards(4)
+            .tau(10)
+            .build()
+            .unwrap();
+        for strategy in Strategy::ALL {
+            let built = strategy.build(params);
+            assert_eq!(
+                built.is_client_driven(),
+                strategy.is_client_driven(),
+                "{strategy}: registry kind mismatch"
+            );
+            assert_eq!(built.name(), strategy.name(), "{strategy}: name mismatch");
+        }
     }
 }

@@ -98,9 +98,8 @@ impl ATxAllo {
                     if p == cur {
                         continue;
                     }
-                    let delta =
-                        objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
-                    if delta > 1e-9 && best.map_or(true, |(_, bd)| delta > bd) {
+                    let delta = objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
+                    if delta > 1e-9 && best.is_none_or(|(_, bd)| delta > bd) {
                         best = Some((p, delta));
                     }
                 }
@@ -196,15 +195,12 @@ mod tests {
 
     #[test]
     fn deterministic_updates() {
-        let window: Vec<Transaction> =
-            (0..50).map(|i| tx(i, i % 7, (i % 5) + 7)).collect();
+        let window: Vec<Transaction> = (0..50).map(|i| tx(i, i % 7, (i % 5) + 7)).collect();
         let run = || {
             let mut phi = AccountShardMap::new(4);
             ATxAllo::default().update(&mut phi, &window);
-            let mut out: Vec<(u64, u16)> = phi
-                .iter()
-                .map(|(a, s)| (a.as_u64(), s.as_u16()))
-                .collect();
+            let mut out: Vec<(u64, u16)> =
+                phi.iter().map(|(a, s)| (a.as_u64(), s.as_u16())).collect();
             out.sort_unstable();
             out
         };

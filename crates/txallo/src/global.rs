@@ -106,9 +106,8 @@ impl GTxAllo {
                     if p == cur {
                         continue;
                     }
-                    let delta =
-                        objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
-                    if delta > 1e-9 && best.map_or(true, |(_, bd)| delta > bd) {
+                    let delta = objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
+                    if delta > 1e-9 && best.is_none_or(|(_, bd)| delta > bd) {
                         best = Some((p, delta));
                     }
                 }
@@ -326,7 +325,7 @@ mod tests {
                         .map(|(_, w)| w)
                 })
                 .sum();
-            let mut load = vec![0.0f64; 2];
+            let mut load = [0.0f64; 2];
             for v in g.nodes() {
                 load[usize::from(parts[v.index()])] += g.node_weight(v).max(1) as f64;
             }
@@ -335,11 +334,7 @@ mod tests {
         };
         let hash_parts: Vec<u16> = g
             .nodes()
-            .map(|v| {
-                DefaultRule::Sha256Mod
-                    .shard_of(g.account_of(v), 2)
-                    .as_u16()
-            })
+            .map(|v| DefaultRule::Sha256Mod.shard_of(g.account_of(v), 2).as_u16())
             .collect();
         let allo_parts = GTxAllo::new(cfg).partition(&g, 2);
         assert!(

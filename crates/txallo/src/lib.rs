@@ -22,6 +22,13 @@
 //! methods must be (every miner must reach the same ϕ without extra
 //! consensus).
 //!
+//! The evaluation wires both in through abstractions rather than by
+//! name: [`GTxAllo`] implements
+//! [`mosaic_partition::GlobalAllocator`] (and is thereby an
+//! `EpochStrategy` via `mosaic-sim`'s blanket adapter), while
+//! [`ATxAllo`]'s incremental update is wrapped by the sim engine's
+//! `AdaptiveTxAllo` adapter.
+//!
 //! # Example
 //!
 //! ```

@@ -111,10 +111,8 @@ impl TxGraph {
         // Sort each adjacency range by neighbour id for determinism.
         for i in 0..n {
             let range = xadj[i]..xadj[i + 1];
-            let mut pairs: Vec<(NodeId, u64)> = range
-                .clone()
-                .map(|j| (adjncy[j], adjwgt[j]))
-                .collect();
+            let mut pairs: Vec<(NodeId, u64)> =
+                range.clone().map(|j| (adjncy[j], adjwgt[j])).collect();
             pairs.sort_unstable_by_key(|&(n, _)| n);
             for (offset, (nid, w)) in pairs.into_iter().enumerate() {
                 adjncy[range.start + offset] = nid;

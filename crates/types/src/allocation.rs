@@ -354,9 +354,7 @@ mod tests {
         let mut phi = AccountShardMap::new(2);
         phi.assign(AccountId::new(0), ShardId::new(0)).unwrap();
         phi.assign(AccountId::new(1), ShardId::new(1)).unwrap();
-        let counts = phi
-            .check_partition((0..100).map(AccountId::new))
-            .unwrap();
+        let counts = phi.check_partition((0..100).map(AccountId::new)).unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 100);
     }
 

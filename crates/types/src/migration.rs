@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn priority_orders_by_gain_desc_then_account() {
-        let mut requests = vec![mr(3, 1.0), mr(1, 5.0), mr(2, 5.0), mr(4, 0.5)];
+        let mut requests = [mr(3, 1.0), mr(1, 5.0), mr(2, 5.0), mr(4, 0.5)];
         requests.sort_by(MigrationRequest::priority_cmp);
         let order: Vec<u64> = requests.iter().map(|r| r.account.as_u64()).collect();
         assert_eq!(order, vec![1, 2, 3, 4]);

@@ -10,18 +10,13 @@ use crate::error::{Error, Result};
 /// divided evenly across shards — "to avoid extremely overloaded or
 /// underloaded cases" (§V-A). A fixed capacity is also supported for
 /// ablations and unit tests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LambdaPolicy {
     /// `λ = |T_epoch| / k`, recomputed every epoch (the paper's setting).
+    #[default]
     EpochAverage,
     /// A fixed capacity in workload units per shard per epoch.
     Fixed(f64),
-}
-
-impl Default for LambdaPolicy {
-    fn default() -> Self {
-        LambdaPolicy::EpochAverage
-    }
 }
 
 impl LambdaPolicy {

@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn cross_shard_predicate() {
-        assert!(Transaction::is_cross_shard(ShardId::new(0), ShardId::new(1)));
+        assert!(Transaction::is_cross_shard(
+            ShardId::new(0),
+            ShardId::new(1)
+        ));
         assert!(!Transaction::is_cross_shard(
             ShardId::new(3),
             ShardId::new(3)

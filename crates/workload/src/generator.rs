@@ -112,8 +112,7 @@ impl GenState {
 
         // Rank->account permutation (Fisher-Yates) decorrelates activity
         // from ids/communities/hubs.
-        let mut rank_to_account: Vec<AccountId> =
-            (0..n as u64).map(AccountId::new).collect();
+        let mut rank_to_account: Vec<AccountId> = (0..n as u64).map(AccountId::new).collect();
         for i in (1..rank_to_account.len()).rev() {
             let j = rng.gen_range(0..=i);
             rank_to_account.swap(i, j);
@@ -333,8 +332,7 @@ mod tests {
         let mut total = 0usize;
         for tx in w.trace().iter() {
             if tx.kind == TxKind::Transfer {
-                let (Some(cf), Some(ct)) = (w.community_of(tx.from), w.community_of(tx.to))
-                else {
+                let (Some(cf), Some(ct)) = (w.community_of(tx.from), w.community_of(tx.to)) else {
                     continue;
                 };
                 total += 1;

@@ -271,10 +271,7 @@ mod tests {
         let trace = TransactionTrace::default();
         assert!(trace.is_empty());
         assert_eq!(trace.max_block(), None);
-        assert_eq!(
-            trace.epoch_windows(BlockHeight::new(0), 10).count(),
-            0
-        );
+        assert_eq!(trace.epoch_windows(BlockHeight::new(0), 10).count(), 0);
         let (a, b) = trace.split_at_fraction(0.9);
         assert!(a.is_empty() && b.is_empty());
     }

@@ -132,13 +132,13 @@ mod tests {
         let z = ZipfSampler::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(1234);
         let n = 200_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..20 {
+        for (r, &count) in counts.iter().enumerate() {
             let expected = z.pmf(r) * n as f64;
-            let got = counts[r] as f64;
+            let got = count as f64;
             // 5-sigma-ish tolerance on a multinomial cell.
             let sigma = (expected.max(1.0)).sqrt();
             assert!(

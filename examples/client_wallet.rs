@@ -52,9 +52,11 @@ fn main() -> Result<(), mosaic::types::Error> {
     // Ω comes from a public mempool-analysis platform (Etherscan-like).
     let omega = vec![120.0, 80.0, 100.0, 140.0];
 
-    println!("wallet history: {} interactions with {} counterparties",
+    println!(
+        "wallet history: {} interactions with {} counterparties",
         wallet.history().total(),
-        wallet.history().distinct());
+        wallet.history().distinct()
+    );
     println!("Ψ (β = 0, history only)   = {:?}", wallet.psi(&phi, 0.0));
     println!("Ψ (β = 0.5, fused)        = {:?}", wallet.psi(&phi, 0.5));
     println!("Ω (downloaded, {} bytes)  = {omega:?}", omega.len() * 8);

@@ -16,7 +16,7 @@
 //! | [`chain`] | shard chains, beacon chain, miners, reconfiguration |
 //! | [`core`] | **the paper's contribution**: Mosaic framework + Pilot |
 //! | [`metrics`] | cross-shard ratio, workload deviation, throughput |
-//! | [`sim`] | the experiment runner regenerating Tables I–VI & Fig. 1 |
+//! | [`sim`] | the unified epoch engine + experiment runner regenerating Tables I–VI & Fig. 1 |
 //!
 //! # Quickstart
 //!
@@ -45,6 +45,46 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Extending the evaluation: `EpochStrategy`
+//!
+//! Every allocation mechanism — client-driven Mosaic, the miner-driven
+//! TxAllo/Metis baselines, static hashing — runs through **one** epoch
+//! pipeline behind the [`sim::engine::EpochStrategy`] trait. A strategy
+//! provides its initial allocation from the training prefix, a
+//! per-epoch `before_epoch` hook returning an
+//! [`sim::engine::EpochDecision`] (a replacement ϕ, or migration
+//! requests already submitted to the beacon, plus timing and input-size
+//! accounting), and an optional `after_epoch` observation hook. Any
+//! [`partition::GlobalAllocator`] is an `EpochStrategy` for free via a
+//! blanket impl.
+//!
+//! To evaluate a new mechanism, implement the trait and pass it to
+//! [`sim::runner::run_custom`] — or add a
+//! [`sim::Strategy`]-registry entry ([`sim::Strategy::build`]) to put
+//! it in every table. Experiment grids run their independent cells on
+//! an order-stable worker pool ([`sim::parallel`]); results are
+//! deterministic and identical at every parallelism level.
+//!
+//! ```
+//! use mosaic::prelude::*;
+//! use mosaic::sim::runner::{run_custom, ExperimentConfig};
+//! use mosaic::sim::{MosaicStrategy, Scale, Strategy};
+//!
+//! # fn main() -> Result<(), mosaic::types::Error> {
+//! let scale = Scale::quick();
+//! let trace = generate(&scale.workload).into_trace();
+//! let params = SystemParams::builder().shards(4).tau(scale.tau).build()?;
+//! let config = ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs);
+//!
+//! // Any ClientPolicy slots into the client-driven wrapper; any custom
+//! // EpochStrategy impl can be driven the same way.
+//! let mut strategy = MosaicStrategy::new(params, mosaic::core::policy::PilotPolicy);
+//! let result = run_custom(&config, &trace, &mut strategy);
+//! assert_eq!(result.per_epoch.len(), scale.eval_epochs);
+//! # Ok(())
+//! # }
+//! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -63,17 +103,18 @@ pub use mosaic_workload as workload;
 pub mod prelude {
     pub use mosaic_chain::{BeaconChain, Ledger, MinerSet, ShardChain};
     pub use mosaic_core::{
-        Client, CounterpartySet, MosaicFramework, Pilot, PilotDecision, PilotInput,
-        WorkloadOracle,
+        Client, CounterpartySet, MosaicFramework, Pilot, PilotDecision, PilotInput, WorkloadOracle,
     };
     pub use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams, TextTable};
     pub use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
-    pub use mosaic_sim::{ExperimentConfig, ExperimentResult, Scale, Strategy};
+    pub use mosaic_sim::{
+        EpochStrategy, ExperimentConfig, ExperimentResult, Parallelism, Scale, Strategy,
+    };
     pub use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
     pub use mosaic_txgraph::{GraphBuilder, TxGraph};
     pub use mosaic_types::{
-        AccountId, AccountShardMap, BlockHeight, EpochId, MigrationRequest, ShardId,
-        SystemParams, Transaction, TxId,
+        AccountId, AccountShardMap, BlockHeight, EpochId, MigrationRequest, ShardId, SystemParams,
+        Transaction, TxId,
     };
     pub use mosaic_workload::{generate, TransactionTrace, WorkloadConfig};
 }

@@ -39,10 +39,7 @@ fn run_mosaic_pipeline(k: u16) -> (Ledger, MosaicFramework, TransactionTrace, Sy
 fn phi_remains_a_valid_partition_through_migrations() {
     let (ledger, _mosaic, trace, params) = run_mosaic_pipeline(4);
     // Definition 1: every account resolves to exactly one in-range shard.
-    let counts = ledger
-        .phi()
-        .check_partition(trace.accounts().into_iter())
-        .unwrap();
+    let counts = ledger.phi().check_partition(trace.accounts()).unwrap();
     assert_eq!(counts.len(), usize::from(params.shards()));
     assert_eq!(
         counts.iter().sum::<usize>(),

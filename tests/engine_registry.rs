@@ -1,0 +1,88 @@
+//! Registry-level tests of the unified epoch engine: every strategy the
+//! registry can build must produce a valid total allocation, and the
+//! parallel experiment grid must be indistinguishable from a sequential
+//! run of the same seed.
+
+use mosaic::prelude::*;
+use mosaic::sim::engine::History;
+use mosaic::sim::{experiments, Parallelism, Scale};
+
+#[test]
+fn every_registry_strategy_yields_valid_shards_for_all_accounts() {
+    let scale = Scale::quick();
+    let trace = generate(&scale.workload).into_trace();
+    let k = 8u16;
+    let params = SystemParams::builder()
+        .shards(k)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .unwrap();
+    let (train, _eval) = trace.split_at_fraction(0.9);
+
+    for strategy in Strategy::ALL {
+        let mut built = strategy.build(params);
+        assert_eq!(built.name(), strategy.name());
+        let mut history = History::new();
+        history.extend(train);
+        let (phi, _elapsed) = built.initial_allocation(train, &mut history, k);
+        assert_eq!(phi.shards(), k, "{strategy}: wrong shard count");
+        // ϕ is total (Definition 1): every account of the whole trace —
+        // including evaluation-only accounts the initial allocation never
+        // saw — resolves to a valid shard.
+        for account in trace.accounts() {
+            let shard = phi.shard_of(account);
+            assert!(
+                shard.index() < usize::from(k),
+                "{strategy}: account {account:?} escaped to shard {shard:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_runs_stay_within_shard_bounds_for_every_strategy() {
+    let scale = Scale::quick();
+    let trace = generate(&scale.workload).into_trace();
+    let params = SystemParams::builder()
+        .shards(4)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .unwrap();
+    for strategy in Strategy::ALL {
+        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs);
+        let result = mosaic::sim::runner::run(&config, &trace);
+        assert_eq!(result.strategy, strategy);
+        assert_eq!(result.per_epoch.len(), scale.eval_epochs);
+        for epoch in &result.per_epoch {
+            assert!(epoch.cross_ratio >= 0.0 && epoch.cross_ratio <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn parallel_grid_output_is_byte_identical_to_sequential() {
+    let scale = Scale::quick();
+    let sequential = experiments::effectiveness_grid_with(&scale, Parallelism::Sequential);
+    let parallel = experiments::effectiveness_grid_with(&scale, Parallelism::Auto);
+
+    let csv = |cells: &[experiments::GridCell]| -> String {
+        cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "# {} / {}\n{}",
+                    c.param_label,
+                    c.result.strategy,
+                    c.result.to_csv()
+                )
+            })
+            .collect()
+    };
+    assert_eq!(
+        csv(&sequential),
+        csv(&parallel),
+        "parallel grid must be byte-identical to the sequential run"
+    );
+}

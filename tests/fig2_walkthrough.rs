@@ -86,8 +86,18 @@ fn migration_phase_moves_the_account_at_epoch_reconfiguration() {
     // Step 2 — they synchronise the state of accounts in ϕ⁻¹ and the
     // account migrates together with the miner reshuffle.
     let txs = [
-        Transaction::new(TxId::new(0), AccountId::new(0), AccountId::new(2), BlockHeight::new(0)),
-        Transaction::new(TxId::new(1), AccountId::new(1), AccountId::new(3), BlockHeight::new(1)),
+        Transaction::new(
+            TxId::new(0),
+            AccountId::new(0),
+            AccountId::new(2),
+            BlockHeight::new(0),
+        ),
+        Transaction::new(
+            TxId::new(1),
+            AccountId::new(1),
+            AccountId::new(3),
+            BlockHeight::new(1),
+        ),
     ];
     let before_sync = ledger.meter().total();
     let outcome = ledger.process_epoch(&txs);
@@ -122,12 +132,8 @@ fn afterwards_the_clients_transactions_are_intra_shard() {
     );
     // The counterparty lives in shard 1 (index 0): before migration this
     // transaction would be cross-shard; after it, intra-shard.
-    let tx_with_counterparty = Transaction::new(
-        TxId::new(0),
-        client,
-        AccountId::new(0),
-        BlockHeight::new(0),
-    );
+    let tx_with_counterparty =
+        Transaction::new(TxId::new(0), client, AccountId::new(0), BlockHeight::new(0));
     let filler = Transaction::new(
         TxId::new(1),
         AccountId::new(1),

@@ -51,15 +51,18 @@ fn contention_resolved_by_gain_priority() {
         let from = l.phi().shard_of(AccountId::new(a));
         let to = ShardId::new(1 - from.as_u16());
         l.submit_migration(
-            MigrationRequest::new(AccountId::new(a), from, to, EpochId::new(0), a as f64)
-                .unwrap(),
+            MigrationRequest::new(AccountId::new(a), from, to, EpochId::new(0), a as f64).unwrap(),
         );
     }
     // lambda = 5 per shard.
     let outcome = l.process_epoch(&filler_txs(2, 5));
     assert_eq!(outcome.lambda, 5.0);
     assert_eq!(outcome.committed.len(), 5);
-    let winners: Vec<u64> = outcome.committed.iter().map(|m| m.account.as_u64()).collect();
+    let winners: Vec<u64> = outcome
+        .committed
+        .iter()
+        .map(|m| m.account.as_u64())
+        .collect();
     assert_eq!(winners, vec![19, 18, 17, 16, 15]);
 }
 
@@ -113,7 +116,8 @@ fn framework_end_to_end_reduces_cross_traffic_for_a_community() {
     let mut phi = AccountShardMap::new(4);
     let initial = [0u16, 0, 0, 0, 0, 0, 2];
     for (a, s) in initial.into_iter().enumerate() {
-        phi.assign(AccountId::new(a as u64), ShardId::new(s)).unwrap();
+        phi.assign(AccountId::new(a as u64), ShardId::new(s))
+            .unwrap();
     }
     let mut l = Ledger::new(p, phi, 8).unwrap();
     let mut mosaic = MosaicFramework::new(p);

@@ -24,14 +24,22 @@ fn quick_results(k: u16) -> Vec<ExperimentResult> {
 }
 
 fn result(results: &[ExperimentResult], s: Strategy) -> &ExperimentResult {
-    results.iter().find(|r| r.strategy == s).expect("strategy ran")
+    results
+        .iter()
+        .find(|r| r.strategy == s)
+        .expect("strategy ran")
 }
 
 #[test]
 fn pattern_aware_beats_random_on_cross_ratio_at_k8() {
     let results = quick_results(8);
     let random = result(&results, Strategy::Random).aggregate.cross_ratio;
-    for s in [Strategy::Mosaic, Strategy::GTxAllo, Strategy::ATxAllo, Strategy::Metis] {
+    for s in [
+        Strategy::Mosaic,
+        Strategy::GTxAllo,
+        Strategy::ATxAllo,
+        Strategy::Metis,
+    ] {
         let r = result(&results, s).aggregate.cross_ratio;
         assert!(r < random, "{s}: {r} !< random {random}");
     }
@@ -56,7 +64,11 @@ fn pilot_within_striking_distance_of_graph_methods() {
     let best_tp = result(&results, Strategy::GTxAllo)
         .aggregate
         .normalized_throughput
-        .max(result(&results, Strategy::Metis).aggregate.normalized_throughput);
+        .max(
+            result(&results, Strategy::Metis)
+                .aggregate
+                .normalized_throughput,
+        );
     assert!(
         pilot.normalized_throughput > best_tp * 0.8,
         "pilot throughput {} vs best graph {best_tp}",
