@@ -1,0 +1,73 @@
+//! Streams one full-protocol run per strategy to disk.
+//!
+//! For every registry strategy the cell runs with within-cell
+//! parallelism enabled ([`Parallelism::Auto`]) and each per-epoch
+//! metric row is written to `results/<strategy>.csv` the moment it is
+//! computed — no per-epoch vector is held in memory, so
+//! `MOSAIC_SCALE=full` (the paper's 200-epoch protocol) runs in
+//! bounded memory at hardware speed.
+//!
+//! ```text
+//! MOSAIC_SCALE=full cargo run -p mosaic-bench --release --bin full_run
+//! MOSAIC_STRATEGY=Pilot cargo run -p mosaic-bench --release --bin full_run
+//! ```
+
+use std::fs;
+use std::io::BufWriter;
+use std::path::Path;
+
+use mosaic_bench::scale_from_env;
+use mosaic_sim::runner::{run_streaming, ExperimentConfig};
+use mosaic_sim::{Parallelism, Strategy};
+use mosaic_types::SystemParams;
+use mosaic_workload::generate;
+
+fn main() {
+    let scale = scale_from_env("Full-protocol streaming run (per-epoch CSV per strategy)");
+    let params = SystemParams::builder()
+        .shards(16)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .expect("valid default parameters");
+    let only = std::env::var("MOSAIC_STRATEGY").ok();
+    // Fail fast on a typo'd filter: silently matching nothing would let
+    // an overnight run exit 0 with no data.
+    if let Some(name) = only.as_deref() {
+        if !Strategy::ALL.iter().any(|s| s.name() == name) {
+            let valid: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+            eprintln!("unknown MOSAIC_STRATEGY {name:?}; valid names: {valid:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let trace = generate(&scale.workload).into_trace();
+    // Repo root, resolved from this crate's manifest dir so the output
+    // lands in the gitignored /results regardless of invocation cwd.
+    let results_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&results_dir).expect("create results/ directory");
+
+    for strategy in Strategy::ALL {
+        if only.as_deref().is_some_and(|s| s != strategy.name()) {
+            continue;
+        }
+        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs)
+            .with_cell_parallelism(Parallelism::Auto);
+        let path = results_dir.join(format!("{}.csv", strategy.name().to_lowercase()));
+        let file = fs::File::create(&path).expect("create per-strategy CSV");
+        let mut out = BufWriter::new(file);
+        let summary = run_streaming(&config, &trace, &mut out).expect("stream epoch rows");
+        println!(
+            "{:<10} {} epochs -> {}: ratio {:.4}, throughput {:.2}, deviation {:.2}, \
+             {} migrations, mean alloc {:.3e} s",
+            strategy.name(),
+            summary.epochs,
+            path.display(),
+            summary.aggregate.cross_ratio,
+            summary.aggregate.normalized_throughput,
+            summary.aggregate.workload_deviation,
+            summary.total_migrations,
+            summary.mean_alloc_seconds,
+        );
+    }
+}

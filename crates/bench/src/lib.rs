@@ -12,6 +12,7 @@
 //! cargo run -p mosaic-bench --release --bin fig1     # radar series
 //! cargo run -p mosaic-bench --release --bin all_experiments
 //! cargo run -p mosaic-bench --release --bin ablation # policy ablation
+//! cargo run -p mosaic-bench --release --bin full_run # streamed per-epoch CSVs
 //! ```
 //!
 //! All binaries honour `MOSAIC_SCALE=quick|default|full`.

@@ -17,7 +17,11 @@
 //!   ([`data_size`]).
 //!
 //! [`EpochLoad`] computes all effectiveness metrics in one pass over an
-//! epoch's transactions given an allocation.
+//! epoch's transactions given an allocation;
+//! [`EpochLoad::compute_with`] fans the classification out over the
+//! order-stable worker pool ([`parallel`]) with bit-identical results.
+//! [`report::EpochCsvWriter`] streams per-epoch rows to disk so
+//! arbitrarily long protocols run in bounded memory.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -25,8 +29,10 @@
 pub mod data_size;
 pub mod fairness;
 pub mod load;
+pub mod parallel;
 pub mod report;
 pub mod timing;
 
 pub use load::{EpochLoad, LoadParams};
-pub use report::{Aggregate, EpochMetrics, TextTable};
+pub use parallel::{for_each_indexed_mut, ordered_map, Parallelism};
+pub use report::{Aggregate, AggregateBuilder, EpochCsvWriter, EpochMetrics, TextTable};

@@ -1,0 +1,186 @@
+//! Order-stable parallel execution of independent work items.
+//!
+//! Two layers of the evaluation parallelise over this module:
+//!
+//! * **across cells** — every cell of the paper's grid is independent
+//!   (same trace, different strategy × parameter pair), so
+//!   `mosaic-sim` maps cells over [`ordered_map`];
+//! * **within a cell** — one epoch's transaction classification and the
+//!   per-shard chain commits decompose into independent per-shard /
+//!   per-chunk work items ([`EpochLoad::compute_with`],
+//!   `Ledger::process_epoch`), dispatched on the same pool.
+//!
+//! What must *not* vary with scheduling is the output: [`ordered_map`]
+//! returns results in input order regardless of which worker finishes
+//! first, and [`for_each_indexed_mut`] hands each worker a disjoint
+//! contiguous chunk — so a parallel run is byte-identical to a
+//! sequential one (asserted in `mosaic-sim`'s tests).
+//!
+//! [`EpochLoad::compute_with`]: crate::EpochLoad::compute_with
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-pool sizing for [`ordered_map`] and [`for_each_indexed_mut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One item at a time, on the calling thread.
+    Sequential,
+    /// One worker per available CPU (capped at the number of items).
+    #[default]
+    Auto,
+    /// An explicit worker count (clamped to ≥ 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count for `items` work items.
+    pub fn workers(&self, items: usize) -> usize {
+        let limit = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => (*n).max(1),
+        };
+        limit.min(items).max(1)
+    }
+}
+
+/// Applies `f` to every item on a scoped worker pool and returns the
+/// results **in input order**.
+///
+/// Work is claimed through an atomic cursor, so long items don't stall
+/// unrelated workers; each result lands in its input slot. With
+/// [`Parallelism::Sequential`] (or a single item) no thread is spawned.
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker.
+pub fn ordered_map<T, R, F>(items: &[T], parallelism: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = parallelism.workers(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every slot filled by the pool")
+        })
+        .collect()
+}
+
+/// Runs `f(index, &mut item)` over every item, splitting the slice into
+/// one contiguous chunk per worker. Chunks are disjoint, so mutation is
+/// race-free and the outcome is identical to a sequential loop whenever
+/// `f`'s effect on an item depends only on that item and its index.
+///
+/// With [`Parallelism::Sequential`] (or a single item) no thread is
+/// spawned.
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker.
+pub fn for_each_indexed_mut<T, F>(items: &mut [T], parallelism: Parallelism, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = parallelism.workers(items.len());
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (c, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, item) in chunk.iter_mut().enumerate() {
+                    f(c * chunk_len + off, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let doubled = ordered_map(&items, Parallelism::Threads(8), |&x| x * 2);
+        assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let work = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let seq = ordered_map(&items, Parallelism::Sequential, work);
+        let par = ordered_map(&items, Parallelism::Auto, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(ordered_map(&empty, Parallelism::Auto, |&x| x).is_empty());
+        assert_eq!(ordered_map(&[7u8], Parallelism::Auto, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_are_bounded_by_items() {
+        assert_eq!(Parallelism::Auto.workers(1), 1);
+        assert_eq!(Parallelism::Threads(16).workers(4), 4);
+        assert_eq!(Parallelism::Threads(0).workers(9), 1);
+        assert_eq!(Parallelism::Sequential.workers(100), 1);
+        assert_eq!(Parallelism::Auto.workers(0), 1);
+    }
+
+    #[test]
+    fn for_each_indexed_mut_touches_every_item_once() {
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::Threads(3),
+        ] {
+            let mut items = vec![0usize; 37];
+            for_each_indexed_mut(&mut items, parallelism, |i, item| *item += i + 1);
+            let expected: Vec<usize> = (0..37).map(|i| i + 1).collect();
+            assert_eq!(items, expected, "{parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_indexed_mut_handles_empty() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_indexed_mut(&mut empty, Parallelism::Auto, |_, _| unreachable!());
+    }
+}

@@ -1,11 +1,23 @@
-//! Experiment reporting: per-epoch metric rows, aggregates, and plain-text
-//! tables shaped like the paper's.
+//! Experiment reporting: per-epoch metric rows, aggregates, streaming
+//! CSV output, and plain-text tables shaped like the paper's.
+//!
+//! Long protocols (the paper's `full` scale runs 200 epochs; larger
+//! traces run more) should not accumulate whole-run metric vectors:
+//! [`EpochCsvWriter`] streams each row to any [`io::Write`] sink as it
+//! is produced, and [`AggregateBuilder`] folds the running means with
+//! the exact same floating-point operation order as [`Aggregate::over`]
+//! — so a streamed run reports bit-identical aggregates in O(1) memory.
 
 use std::fmt;
+use std::io;
 
 use serde::{Deserialize, Serialize};
 
 use crate::load::EpochLoad;
+
+/// Header line of the per-epoch CSV series (no trailing newline).
+pub const EPOCH_CSV_HEADER: &str =
+    "epoch,cross_ratio,workload_deviation,normalized_throughput,txs,migrations";
 
 /// The effectiveness metrics of a single evaluation epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,6 +43,120 @@ impl EpochMetrics {
             normalized_throughput: load.normalized_throughput(),
             total_txs: load.total_txs(),
             migrations,
+        }
+    }
+
+    /// One CSV data row (no trailing newline) under [`EPOCH_CSV_HEADER`].
+    pub fn csv_row(&self, epoch: usize) -> String {
+        format!(
+            "{epoch},{:.6},{:.6},{:.6},{},{}",
+            self.cross_ratio,
+            self.workload_deviation,
+            self.normalized_throughput,
+            self.total_txs,
+            self.migrations
+        )
+    }
+}
+
+/// Streams per-epoch metric rows to an [`io::Write`] sink as they are
+/// produced, so a run of any length holds no per-epoch vector in memory.
+///
+/// The output is byte-identical to `ExperimentResult::to_csv` in
+/// `mosaic-sim` (header + one [`EpochMetrics::csv_row`] per epoch).
+#[derive(Debug)]
+pub struct EpochCsvWriter<W: io::Write> {
+    out: W,
+    rows: usize,
+}
+
+impl<W: io::Write> EpochCsvWriter<W> {
+    /// Wraps `out` and writes the CSV header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        writeln!(out, "{EPOCH_CSV_HEADER}")?;
+        Ok(EpochCsvWriter { out, rows: 0 })
+    }
+
+    /// Appends one epoch row; rows are numbered in call order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn write_epoch(&mut self, metrics: &EpochMetrics) -> io::Result<()> {
+        writeln!(self.out, "{}", metrics.csv_row(self.rows))?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of data rows written so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Running aggregation of epoch rows in O(1) memory.
+///
+/// Sums are accumulated in push order, so [`AggregateBuilder::finish`]
+/// is bit-identical to [`Aggregate::over`] on the same rows in the same
+/// order — streamed runs and collected runs report the same numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggregateBuilder {
+    cross_ratio_sum: f64,
+    workload_deviation_sum: f64,
+    normalized_throughput_sum: f64,
+    total_txs: usize,
+    migrations: usize,
+    epochs: usize,
+}
+
+impl AggregateBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        AggregateBuilder::default()
+    }
+
+    /// Folds one epoch row into the running sums.
+    pub fn push(&mut self, metrics: &EpochMetrics) {
+        self.cross_ratio_sum += metrics.cross_ratio;
+        self.workload_deviation_sum += metrics.workload_deviation;
+        self.normalized_throughput_sum += metrics.normalized_throughput;
+        self.total_txs += metrics.total_txs;
+        self.migrations += metrics.migrations;
+        self.epochs += 1;
+    }
+
+    /// Number of rows folded so far.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// The aggregate over every pushed row; all-zero if none was pushed.
+    pub fn finish(&self) -> Aggregate {
+        if self.epochs == 0 {
+            return Aggregate::default();
+        }
+        let nf = self.epochs as f64;
+        Aggregate {
+            cross_ratio: self.cross_ratio_sum / nf,
+            workload_deviation: self.workload_deviation_sum / nf,
+            normalized_throughput: self.normalized_throughput_sum / nf,
+            total_txs: self.total_txs,
+            migrations: self.migrations,
+            epochs: self.epochs,
         }
     }
 }
@@ -238,6 +364,49 @@ mod tests {
     #[test]
     fn aggregate_of_empty_is_default() {
         assert_eq!(Aggregate::over(&[]), Aggregate::default());
+    }
+
+    fn sample_rows(n: usize) -> Vec<EpochMetrics> {
+        (0..n)
+            .map(|i| EpochMetrics {
+                cross_ratio: (i as f64 * 0.137).fract(),
+                workload_deviation: (i as f64 * 0.731).fract(),
+                normalized_throughput: 1.0 + (i as f64 * 0.317).fract(),
+                total_txs: 100 + i,
+                migrations: i % 7,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_builder_is_bit_identical_to_over() {
+        let rows = sample_rows(153);
+        let mut builder = AggregateBuilder::new();
+        for row in &rows {
+            builder.push(row);
+        }
+        assert_eq!(builder.epochs(), rows.len());
+        // Bit-identical, not approximately equal: push order == sum order.
+        assert_eq!(builder.finish(), Aggregate::over(&rows));
+        assert_eq!(AggregateBuilder::new().finish(), Aggregate::default());
+    }
+
+    #[test]
+    fn csv_writer_streams_header_and_rows() {
+        let rows = sample_rows(5);
+        let mut writer = EpochCsvWriter::new(Vec::new()).unwrap();
+        for row in &rows {
+            writer.write_epoch(row).unwrap();
+        }
+        assert_eq!(writer.rows_written(), 5);
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let mut expected = format!("{EPOCH_CSV_HEADER}\n");
+        for (i, row) in rows.iter().enumerate() {
+            expected.push_str(&row.csv_row(i));
+            expected.push('\n');
+        }
+        assert_eq!(text, expected);
     }
 
     #[test]

@@ -5,13 +5,39 @@
 //! no HTML report and no regression detection — this is a smoke-bench
 //! harness that keeps the real criterion's API shape so the genuine
 //! crate can be dropped in later without source changes.
+//!
+//! Like the real crate, `cargo bench -- --test` runs every benchmark in
+//! **test mode**: a single sample per benchmark (sample-size requests
+//! are clamped to 1), so CI can smoke-run the bench code quickly and
+//! keep it from rotting.
 
 #![deny(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `true` when the benchmark binary was invoked with `--test` (the real
+/// criterion's smoke mode): every benchmark runs one sample only.
+/// Private on purpose — the real criterion exposes no such query, and
+/// this shim guarantees drop-in compatibility; benchmarks that need to
+/// scale their own setup down sniff `--test` from `std::env::args()`
+/// themselves (see `mosaic-bench`'s `graph_delta`).
+fn is_test_mode() -> bool {
+    static TEST_MODE: OnceLock<bool> = OnceLock::new();
+    *TEST_MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
+/// Clamps a requested sample count to the active mode.
+fn effective_samples(requested: usize) -> usize {
+    if is_test_mode() {
+        1
+    } else {
+        requested.max(1)
+    }
+}
 
 /// How batched inputs are grouped between measurements (accepted and
 /// ignored; every iteration re-runs its setup outside the timed region).
@@ -71,6 +97,7 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: usize) -> Self {
+        let samples = effective_samples(samples);
         Bencher {
             samples,
             measurements: Vec::with_capacity(samples),
@@ -79,7 +106,9 @@ impl Bencher {
 
     /// Times `routine` over the configured number of samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        black_box(routine()); // warm-up, untimed
+        if !is_test_mode() {
+            black_box(routine()); // warm-up, untimed
+        }
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
@@ -94,7 +123,9 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        black_box(routine(setup())); // warm-up, untimed
+        if !is_test_mode() {
+            black_box(routine(setup())); // warm-up, untimed
+        }
         for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();

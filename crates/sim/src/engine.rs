@@ -16,11 +16,24 @@
 //! * adding a sixth strategy requires a new impl plus a registry entry
 //!   ([`crate::Strategy::build`]) — the protocol is untouched.
 //!
-//! The engine also owns the evaluation hot path: the historical graph is
-//! accreted **lazily** ([`History`]) so strategies that never look at the
-//! full history (Mosaic, Random, A-TxAllo) never pay for graph
-//! construction, and epoch windows are threaded through as borrowed
-//! slices of the trace — no per-epoch `to_vec` clones.
+//! The engine also owns the evaluation hot path:
+//!
+//! * the historical graph is accreted **incrementally** ([`History`]):
+//!   epoch windows append as borrowed slices in O(1), and
+//!   [`History::graph`] folds only the not-yet-merged delta into a
+//!   maintained CSR via [`TxGraph::merge_delta`] — per-epoch work is
+//!   proportional to the window, never a full `GraphBuilder::build`
+//!   rebuild of the whole history (the rebuild stays available in
+//!   `mosaic-txgraph` as the reference oracle the delta path is
+//!   proptested against). Strategies that never look at the history
+//!   (Mosaic, Random, A-TxAllo) still pay nothing;
+//! * within a cell, epoch processing parallelises over the order-stable
+//!   pool ([`crate::parallel`]) with byte-identical output
+//!   ([`crate::runner::ExperimentConfig::cell_parallelism`]);
+//! * per-epoch metric rows can be **streamed** to any sink instead of
+//!   accumulated ([`run_with_observer`]), so the paper's `full`
+//!   200-epoch protocol runs in bounded memory
+//!   (`mosaic_metrics::EpochCsvWriter` + `runner::run_streaming`).
 
 use std::time::Duration;
 
@@ -28,28 +41,32 @@ use mosaic_chain::Ledger;
 use mosaic_core::{ClientPolicy, MosaicFramework};
 use mosaic_metrics::data_size::miner_input_bytes;
 use mosaic_metrics::timing::{time_it, DurationStats};
-use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams};
+use mosaic_metrics::{Aggregate, AggregateBuilder, EpochLoad, EpochMetrics, LoadParams};
 use mosaic_partition::GlobalAllocator;
 use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
 use mosaic_txgraph::{GraphBuilder, TxGraph};
 use mosaic_types::{AccountShardMap, BlockHeight, SystemParams, Transaction};
 use mosaic_workload::TransactionTrace;
 
+use crate::parallel::Parallelism;
 use crate::runner::{ExperimentConfig, ExperimentResult};
 
-/// Lazily accreted transaction history.
+/// Incrementally accreted transaction history.
 ///
-/// Epoch windows are appended as borrowed slices in O(1); the interaction
-/// graph is only materialised when a strategy actually asks for it, and
-/// the CSR snapshot is cached until the next append. Full-history
-/// strategies therefore pay for graph construction once per epoch (inside
-/// their own timed region, as a real miner would), while everyone else
-/// pays nothing.
+/// Epoch windows are appended as borrowed slices in O(1). The
+/// interaction graph is maintained as a long-lived CSR: when a strategy
+/// asks for it, the pending windows are drained into a per-window delta
+/// builder and sort-merged into the existing buffers
+/// ([`TxGraph::merge_delta`]) — O(window + touched adjacency) per epoch
+/// instead of the O(V + E) full rebuild the evaluation previously paid.
+/// Strategies that never ask (Mosaic, Random, A-TxAllo) pay nothing.
 #[derive(Debug, Default)]
 pub struct History<'t> {
-    builder: GraphBuilder,
+    /// Accumulates only the not-yet-merged windows (drained each merge).
+    delta: GraphBuilder,
     pending: Vec<&'t [Transaction]>,
-    cached: Option<TxGraph>,
+    /// The maintained full-history CSR, grown in place.
+    graph: TxGraph,
     txs: usize,
 }
 
@@ -66,11 +83,10 @@ impl<'t> History<'t> {
             return;
         }
         self.pending.push(txs);
-        self.cached = None;
         self.txs += txs.len();
     }
 
-    /// Total transactions in the history (including not-yet-accreted
+    /// Total transactions in the history (including not-yet-merged
     /// windows).
     pub fn len(&self) -> usize {
         self.txs
@@ -81,35 +97,28 @@ impl<'t> History<'t> {
         self.txs == 0
     }
 
-    /// Drains pending windows into the builder (hash-map accretion, the
-    /// part a miner amortises while blocks commit). Separated from the
-    /// CSR construction so strategies can keep accretion *outside* their
-    /// timed region while paying for [`History::snapshot`] inside it.
+    /// Drains pending windows into the delta builder (hash-map
+    /// accumulation, the part a miner amortises while blocks commit).
+    /// Separated from the CSR merge so strategies can keep it *outside*
+    /// their timed region while paying for the [`History::graph`] merge
+    /// inside it.
     pub fn accrete(&mut self) {
         for window in self.pending.drain(..) {
-            self.builder.add_transactions(window);
+            self.delta.add_transactions(window);
         }
     }
 
-    /// Builds a fresh CSR snapshot of the accreted graph — always a full
-    /// construction, never cached, so timing it measures the same work
-    /// every epoch.
+    /// The full-history interaction graph, maintained incrementally.
     ///
-    /// Call [`History::accrete`] first; pending windows not yet accreted
-    /// are *not* included.
-    pub fn snapshot(&self) -> TxGraph {
-        self.builder.build()
-    }
-
-    /// The full-history interaction graph, cached between calls. Drains
-    /// pending windows into the builder and rebuilds the CSR snapshot if
-    /// anything changed since the last call.
+    /// Drains pending windows and sort-merges the accumulated delta into
+    /// the long-lived CSR; with nothing pending this is a cache hit.
     pub fn graph(&mut self) -> &TxGraph {
         self.accrete();
-        if self.cached.is_none() {
-            self.cached = Some(self.builder.build());
+        if self.delta.vertex_count() > 0 {
+            let delta = self.delta.drain_delta();
+            self.graph.merge_delta(&delta);
         }
-        self.cached.as_ref().expect("graph cached above")
+        &self.graph
     }
 }
 
@@ -125,6 +134,9 @@ pub struct EpochCtx<'e, 't> {
     pub history: &'e mut History<'t>,
     /// System parameters of the experiment cell.
     pub params: SystemParams,
+    /// Worker-pool sizing for within-cell work this strategy dispatches
+    /// (e.g. workload classification); byte-identical at every level.
+    pub parallelism: Parallelism,
 }
 
 /// How an epoch's account moves are counted.
@@ -240,14 +252,16 @@ impl<A: GlobalAllocator> EpochStrategy for A {
 
     fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
         let input_bytes = miner_input_bytes(ctx.history.len()) as f64;
-        // Accretion happens outside the timed region (a miner folds
-        // blocks in as they commit); the CSR construction + allocation is
-        // the per-epoch recomputation Table IV measures, so it is rebuilt
-        // inside `time_it` every epoch — never served from a cache.
+        // Hash-map accumulation happens outside the timed region (a
+        // miner folds blocks in as they commit); the delta merge into
+        // the maintained CSR + the allocation is the per-epoch
+        // recomputation Table IV measures, so both run inside `time_it`.
         ctx.history.accrete();
+        let history = &mut *ctx.history;
+        let k = ctx.params.shards();
         let (phi, elapsed) = time_it(|| {
-            let graph = ctx.history.snapshot();
-            self.allocate(&graph, ctx.params.shards())
+            let graph = history.graph();
+            self.allocate(graph, k)
         });
         let moved = allocation_diff(ledger.phi(), &phi);
         EpochDecision {
@@ -399,9 +413,10 @@ impl<P: ClientPolicy> EpochStrategy for MosaicStrategy<P> {
             "MosaicStrategy was built with different SystemParams than the experiment cell"
         );
 
-        // Step 1: mempool-derived workload distribution Ω (§V-A).
+        // Step 1: mempool-derived workload distribution Ω (§V-A),
+        // classified in parallel chunks on large windows.
         let lambda = ctx.params.lambda(ctx.window.len());
-        let omega = EpochLoad::compute(
+        let omega = EpochLoad::compute_with(
             ctx.window,
             LoadParams {
                 shards: ctx.params.shards(),
@@ -409,6 +424,7 @@ impl<P: ClientPolicy> EpochStrategy for MosaicStrategy<P> {
                 lambda,
             },
             |a| ledger.phi().shard_of(a),
+            ctx.parallelism,
         )
         .workload_vector();
 
@@ -431,10 +447,35 @@ impl<P: ClientPolicy> EpochStrategy for MosaicStrategy<P> {
     }
 }
 
+/// The aggregated outcome of a run whose per-epoch rows were handed to
+/// an observer instead of collected — everything
+/// [`crate::runner::ExperimentResult`] carries except the row vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Means over the evaluation epochs (bit-identical to
+    /// [`Aggregate::over`] on the observed rows in order).
+    pub aggregate: Aggregate,
+    /// Number of evaluation epochs processed.
+    pub epochs: usize,
+    /// Wall-clock seconds of the initial (training-prefix) allocation.
+    pub init_seconds: f64,
+    /// Mean per-epoch allocation runtime in seconds.
+    pub mean_alloc_seconds: f64,
+    /// Mean bytes of input per allocation run.
+    pub mean_input_bytes: f64,
+    /// Total account moves over the evaluation.
+    pub total_migrations: usize,
+}
+
 /// Runs one experiment cell with an explicit strategy — **the** epoch
 /// loop of the crate. [`crate::runner::run`] resolves the strategy from
 /// the registry and delegates here; custom strategies (new mechanisms,
 /// ablation policies) are passed in directly.
+///
+/// Collects the per-epoch rows in memory; for arbitrarily long
+/// protocols use [`run_with_observer`] (or
+/// [`crate::runner::run_streaming`]) and stream each row to a sink as
+/// it is produced.
 ///
 /// # Panics
 ///
@@ -444,6 +485,44 @@ pub fn run_with(
     trace: &TransactionTrace,
     strategy: &mut dyn EpochStrategy,
 ) -> ExperimentResult {
+    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
+    let summary = run_with_observer(config, trace, strategy, &mut |_, metrics: &EpochMetrics| {
+        per_epoch.push(*metrics);
+        true
+    });
+    ExperimentResult {
+        strategy: config.strategy,
+        params: config.params,
+        aggregate: summary.aggregate,
+        per_epoch,
+        init_seconds: summary.init_seconds,
+        mean_alloc_seconds: summary.mean_alloc_seconds,
+        mean_input_bytes: summary.mean_input_bytes,
+        total_migrations: summary.total_migrations,
+    }
+}
+
+/// [`run_with`], but each evaluation epoch's metric row is handed to
+/// `on_epoch(epoch_index, row)` the moment it is computed instead of
+/// being accumulated — the engine itself holds O(1) metric state
+/// (a running [`AggregateBuilder`]), so the `full` 200-epoch protocol
+/// (and anything longer) runs in bounded memory when the observer
+/// streams rows to disk.
+///
+/// The observer returns whether to **continue**: returning `false`
+/// aborts the run after the current epoch (its row is already included
+/// in the summary), so a sink failure doesn't burn the rest of a long
+/// protocol. [`RunSummary::epochs`] reports how far the run got.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+pub fn run_with_observer(
+    config: &ExperimentConfig,
+    trace: &TransactionTrace,
+    strategy: &mut dyn EpochStrategy,
+    on_epoch: &mut dyn FnMut(usize, &EpochMetrics) -> bool,
+) -> RunSummary {
     assert!(!trace.is_empty(), "experiment needs a non-empty trace");
     let params = config.params;
     let tau = params.tau();
@@ -462,6 +541,7 @@ pub fn run_with(
     let mut ledger =
         Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
     ledger.set_migration_capacity(config.migration_capacity);
+    ledger.set_parallelism(config.cell_parallelism);
 
     // The first "recent window" is the last τ blocks of training.
     let mut recent_window = trace.block_range(
@@ -469,13 +549,17 @@ pub fn run_with(
         cut_block,
     );
 
-    let mut per_epoch = Vec::with_capacity(config.eval_epochs);
+    let mut aggregate = AggregateBuilder::new();
     let mut alloc_stats = DurationStats::new();
     let mut input_bytes_sum = 0.0f64;
     let mut input_samples = 0usize;
     let mut total_migrations = 0usize;
 
-    for window in trace.epoch_windows(cut_block, tau).take(config.eval_epochs) {
+    for (epoch, window) in trace
+        .epoch_windows(cut_block, tau)
+        .take(config.eval_epochs)
+        .enumerate()
+    {
         let decision = strategy.before_epoch(
             &mut ledger,
             EpochCtx {
@@ -483,6 +567,7 @@ pub fn run_with(
                 recent_window,
                 history: &mut history,
                 params,
+                parallelism: config.cell_parallelism,
             },
         );
         if let Some(elapsed) = decision.alloc_time {
@@ -502,18 +587,20 @@ pub fn run_with(
             MigrationCount::CommittedRequests => outcome.committed.len(),
         };
         total_migrations += migrations;
-        per_epoch.push(EpochMetrics::from_load(&outcome.load, migrations));
+        let metrics = EpochMetrics::from_load(&outcome.load, migrations);
+        aggregate.push(&metrics);
+        if !on_epoch(epoch, &metrics) {
+            break;
+        }
 
         strategy.after_epoch(window);
         history.extend(window);
         recent_window = window;
     }
 
-    ExperimentResult {
-        strategy: config.strategy,
-        params,
-        aggregate: Aggregate::over(&per_epoch),
-        per_epoch,
+    RunSummary {
+        epochs: aggregate.epochs(),
+        aggregate: aggregate.finish(),
         init_seconds: init_time.as_secs_f64(),
         mean_alloc_seconds: alloc_stats.mean_seconds(),
         mean_input_bytes: if input_samples == 0 {

@@ -15,10 +15,14 @@
 //!   protocol);
 //! * [`runner`] — the 90/10 train–eval protocol: [`runner::run`] for
 //!   registry strategies, [`runner::run_custom`] for caller-supplied
-//!   [`EpochStrategy`] implementations;
-//! * [`parallel`] — order-stable parallel execution of independent
-//!   experiment cells (same seed ⇒ byte-identical results, sequential
-//!   or parallel);
+//!   [`EpochStrategy`] implementations, and [`runner::run_streaming`]
+//!   for bounded-memory runs that write each per-epoch CSV row to disk
+//!   as it is produced;
+//! * [`parallel`] — order-stable parallel execution (re-exported from
+//!   `mosaic_metrics::parallel`), used at two levels: independent
+//!   experiment cells across the grid, and chunk/per-shard work items
+//!   *within* a cell ([`ExperimentConfig::cell_parallelism`]); the
+//!   same seed produces byte-identical results at every level;
 //! * [`experiments`] — one function per paper table/figure (Tables I–VI,
 //!   Figure 1), each returning a [`mosaic_metrics::TextTable`] shaped
 //!   like the original, computed on a parallel cell grid.

@@ -1,118 +1,12 @@
-//! Order-stable parallel execution of independent experiment cells.
+//! Order-stable parallel execution — re-exported from
+//! [`mosaic_metrics::parallel`].
 //!
-//! Every cell of the paper's evaluation grid is independent — same trace,
-//! different (strategy × parameter) pair — so the grid parallelises
-//! trivially. What must *not* vary with scheduling is the output:
-//! [`ordered_map`] returns results in input order regardless of which
-//! worker finishes first, so a parallel grid is byte-identical to a
-//! sequential one (asserted in `experiments::tests`).
+//! The pool implementation moved down the crate stack so that
+//! within-cell work (epoch classification chunks in
+//! [`mosaic_metrics::EpochLoad::compute_with`], per-shard block commits
+//! in `mosaic_chain::Ledger::process_epoch`) dispatches on the same
+//! order-stable primitives the experiment grid uses for whole cells.
+//! Existing `mosaic_sim::parallel::{ordered_map, Parallelism}` paths
+//! keep working through this re-export.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Worker-pool sizing for [`ordered_map`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Parallelism {
-    /// One item at a time, on the calling thread.
-    Sequential,
-    /// One worker per available CPU (capped at the number of items).
-    #[default]
-    Auto,
-    /// An explicit worker count (clamped to ≥ 1).
-    Threads(usize),
-}
-
-impl Parallelism {
-    /// Resolves to a concrete worker count for `items` work items.
-    pub fn workers(&self, items: usize) -> usize {
-        let limit = match self {
-            Parallelism::Sequential => 1,
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-            Parallelism::Threads(n) => (*n).max(1),
-        };
-        limit.min(items).max(1)
-    }
-}
-
-/// Applies `f` to every item on a scoped worker pool and returns the
-/// results **in input order**.
-///
-/// Work is claimed through an atomic cursor, so long items don't stall
-/// unrelated workers; each result lands in its input slot. With
-/// [`Parallelism::Sequential`] (or a single item) no thread is spawned.
-///
-/// # Panics
-///
-/// Propagates the first panic of any worker.
-pub fn ordered_map<T, R, F>(items: &[T], parallelism: Parallelism, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = parallelism.workers(items.len());
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot poisoned")
-                .expect("every slot filled by the pool")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..64).collect();
-        let doubled = ordered_map(&items, Parallelism::Threads(8), |&x| x * 2);
-        assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn sequential_and_parallel_agree() {
-        let items: Vec<u64> = (0..40).collect();
-        let work = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
-        let seq = ordered_map(&items, Parallelism::Sequential, work);
-        let par = ordered_map(&items, Parallelism::Auto, work);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        let empty: Vec<u8> = Vec::new();
-        assert!(ordered_map(&empty, Parallelism::Auto, |&x| x).is_empty());
-        assert_eq!(ordered_map(&[7u8], Parallelism::Auto, |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn workers_are_bounded_by_items() {
-        assert_eq!(Parallelism::Auto.workers(1), 1);
-        assert_eq!(Parallelism::Threads(16).workers(4), 4);
-        assert_eq!(Parallelism::Threads(0).workers(9), 1);
-        assert_eq!(Parallelism::Sequential.workers(100), 1);
-        assert_eq!(Parallelism::Auto.workers(0), 1);
-    }
-}
+pub use mosaic_metrics::parallel::{for_each_indexed_mut, ordered_map, Parallelism};

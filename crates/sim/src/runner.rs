@@ -12,11 +12,14 @@
 //! ([`ExperimentResult`]); [`run`] resolves the configured [`Strategy`]
 //! through the registry and delegates.
 
-use mosaic_metrics::{Aggregate, EpochMetrics};
+use std::io;
+
+use mosaic_metrics::{Aggregate, EpochCsvWriter, EpochMetrics};
 use mosaic_types::SystemParams;
 use mosaic_workload::TransactionTrace;
 
-use crate::engine::{self, EpochStrategy};
+use crate::engine::{self, EpochStrategy, RunSummary};
+use crate::parallel::Parallelism;
 use crate::strategy::Strategy;
 
 /// Configuration of one experiment cell (one strategy × one parameter
@@ -37,6 +40,12 @@ pub struct ExperimentConfig {
     /// Migration-commit cap override (`None` = the paper's `λ` bound).
     /// Only meaningful for the client-driven strategy.
     pub migration_capacity: Option<usize>,
+    /// Worker-pool sizing for **within-cell** epoch processing
+    /// (transaction classification chunks, per-shard commits). Output
+    /// is byte-identical at every level; defaults to `Sequential` so
+    /// grids that already parallelise across cells don't oversubscribe
+    /// — single-cell runs of big traces should set `Auto`.
+    pub cell_parallelism: Parallelism,
 }
 
 impl ExperimentConfig {
@@ -50,7 +59,14 @@ impl ExperimentConfig {
             eval_epochs,
             miner_count: usize::from(params.shards()) * 4,
             migration_capacity: None,
+            cell_parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// Returns the config with within-cell parallelism set.
+    pub fn with_cell_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.cell_parallelism = parallelism;
+        self
     }
 }
 
@@ -81,21 +97,17 @@ pub struct ExperimentResult {
 
 impl ExperimentResult {
     /// Serialises the per-epoch series as CSV
-    /// (`epoch,cross_ratio,workload_deviation,normalized_throughput,txs,migrations`),
-    /// ready for external plotting of the paper's time series.
+    /// ([`mosaic_metrics::report::EPOCH_CSV_HEADER`] + one row per
+    /// epoch), ready for external plotting of the paper's time series.
+    ///
+    /// Byte-identical to what [`run_streaming`] writes for the same
+    /// cell.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "epoch,cross_ratio,workload_deviation,normalized_throughput,txs,migrations\n",
-        );
+        let mut out = String::from(mosaic_metrics::report::EPOCH_CSV_HEADER);
+        out.push('\n');
         for (i, m) in self.per_epoch.iter().enumerate() {
-            out.push_str(&format!(
-                "{i},{:.6},{:.6},{:.6},{},{}\n",
-                m.cross_ratio,
-                m.workload_deviation,
-                m.normalized_throughput,
-                m.total_txs,
-                m.migrations
-            ));
+            out.push_str(&m.csv_row(i));
+            out.push('\n');
         }
         out
     }
@@ -125,6 +137,51 @@ pub fn run_custom(
     strategy: &mut dyn EpochStrategy,
 ) -> ExperimentResult {
     engine::run_with(config, trace, strategy)
+}
+
+/// Runs one experiment cell while **streaming** each per-epoch CSV row
+/// to `out` the moment it is computed, holding no per-epoch vector in
+/// memory — the entry point for the paper's `full` 200-epoch protocol
+/// (and anything longer) on bounded memory.
+///
+/// The bytes written are identical to [`ExperimentResult::to_csv`] for
+/// the same cell; the returned [`RunSummary`] aggregate is bit-identical
+/// to the collected run's.
+///
+/// # Errors
+///
+/// Propagates the sink's first I/O error; the run aborts at the failing
+/// epoch (a sink failure at epoch 1 of a 200-epoch protocol does not
+/// burn the remaining 199).
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+pub fn run_streaming(
+    config: &ExperimentConfig,
+    trace: &TransactionTrace,
+    out: &mut dyn io::Write,
+) -> io::Result<RunSummary> {
+    let mut strategy = config.strategy.build(config.params);
+    let mut writer = EpochCsvWriter::new(out)?;
+    let mut io_error: Option<io::Error> = None;
+    let summary = engine::run_with_observer(
+        config,
+        trace,
+        strategy.as_mut(),
+        &mut |_, metrics: &EpochMetrics| match writer.write_epoch(metrics) {
+            Ok(()) => true,
+            Err(e) => {
+                io_error = Some(e);
+                false
+            }
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    writer.finish()?;
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -240,6 +297,75 @@ mod tests {
         let b = run(&quick_config(Strategy::Mosaic, 4), &trace);
         assert_eq!(a.per_epoch, b.per_epoch);
         assert_eq!(a.total_migrations, b.total_migrations);
+    }
+
+    #[test]
+    fn streaming_run_matches_collected_run_byte_for_byte() {
+        let trace = quick_trace();
+        for strategy in Strategy::ALL {
+            let config = quick_config(strategy, 4);
+            let collected = run(&config, &trace);
+            let mut bytes: Vec<u8> = Vec::new();
+            let summary = run_streaming(&config, &trace, &mut bytes).unwrap();
+            assert_eq!(
+                String::from_utf8(bytes).unwrap(),
+                collected.to_csv(),
+                "{strategy}: streamed CSV diverged"
+            );
+            assert_eq!(summary.aggregate, collected.aggregate, "{strategy}");
+            assert_eq!(summary.epochs, collected.per_epoch.len());
+            assert_eq!(summary.total_migrations, collected.total_migrations);
+        }
+    }
+
+    #[test]
+    fn streaming_run_aborts_on_sink_failure() {
+        /// Accepts `limit` bytes, then reports a full disk forever.
+        struct FailingSink {
+            written: usize,
+            limit: usize,
+        }
+        impl io::Write for FailingSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.written + buf.len() > self.limit {
+                    return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+                }
+                self.written += buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let trace = quick_trace();
+        let config = quick_config(Strategy::Random, 4);
+        // Room for the header and roughly one row, then failure.
+        let mut sink = FailingSink {
+            written: 0,
+            limit: mosaic_metrics::report::EPOCH_CSV_HEADER.len() + 40,
+        };
+        let err = run_streaming(&config, &trace, &mut sink).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn cell_parallelism_does_not_change_results() {
+        let trace = quick_trace();
+        for strategy in Strategy::ALL {
+            let config = quick_config(strategy, 4);
+            let sequential = run(&config, &trace);
+            let parallel = run(
+                &config.with_cell_parallelism(Parallelism::Threads(4)),
+                &trace,
+            );
+            assert_eq!(
+                sequential.to_csv(),
+                parallel.to_csv(),
+                "{strategy}: within-cell parallel run diverged"
+            );
+            assert_eq!(sequential.total_migrations, parallel.total_migrations);
+        }
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //! * [`GraphBuilder`] — accumulates transactions (or raw weighted edges)
 //!   into an adjacency map; supports weight decay for sliding-window
 //!   updates;
-//! * [`TxGraph`] — an immutable compressed-sparse-row (CSR) snapshot with
+//! * [`TxGraph`] — a compressed-sparse-row (CSR) snapshot with
 //!   deterministic neighbour ordering, the format consumed by the
 //!   partitioners;
+//! * the **delta path** — [`GraphBuilder::drain_delta`] drains a window
+//!   of updates as a sorted [`GraphDelta`] and [`TxGraph::merge_delta`]
+//!   sort-merges it into the existing CSR buffers in place, so
+//!   maintaining a growing history costs per-epoch work proportional to
+//!   the delta instead of a full rebuild (the full
+//!   [`GraphBuilder::build`] path remains as the reference oracle);
 //! * [`analysis`] — edge-cut, balance, and modularity measures over a
 //!   partition vector.
 //!
@@ -42,5 +48,5 @@ pub mod analysis;
 pub mod builder;
 pub mod csr;
 
-pub use builder::GraphBuilder;
+pub use builder::{GraphBuilder, GraphDelta};
 pub use csr::{NodeId, TxGraph};

@@ -62,6 +62,68 @@ fn full_runs_stay_within_shard_bounds_for_every_strategy() {
 }
 
 #[test]
+fn within_cell_parallel_epochs_are_byte_identical_to_sequential() {
+    // Within-cell parallelism (chunked transaction classification and
+    // per-shard commits inside `Ledger::process_epoch`) must be
+    // invisible in the output: for every registry strategy the CSV
+    // series, aggregates and migration totals are byte-identical to a
+    // sequential run of the same cell.
+    let scale = Scale::quick();
+    let trace = generate(&scale.workload).into_trace();
+    let params = SystemParams::builder()
+        .shards(4)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .unwrap();
+    for strategy in Strategy::ALL {
+        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs);
+        let sequential = mosaic::sim::runner::run(&config, &trace);
+        for parallelism in [Parallelism::Auto, Parallelism::Threads(3)] {
+            let parallel =
+                mosaic::sim::runner::run(&config.with_cell_parallelism(parallelism), &trace);
+            assert_eq!(
+                sequential.to_csv(),
+                parallel.to_csv(),
+                "{strategy}: {parallelism:?} within-cell run diverged from sequential"
+            );
+            assert_eq!(sequential.aggregate, parallel.aggregate, "{strategy}");
+            assert_eq!(
+                sequential.total_migrations, parallel.total_migrations,
+                "{strategy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_cell_matches_collected_cell() {
+    // The streaming runner (bounded-memory path for the full protocol)
+    // must write exactly the bytes `ExperimentResult::to_csv` produces
+    // and report a bit-identical aggregate.
+    let scale = Scale::quick();
+    let trace = generate(&scale.workload).into_trace();
+    let params = SystemParams::builder()
+        .shards(4)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .unwrap();
+    for strategy in Strategy::ALL {
+        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs);
+        let collected = mosaic::sim::runner::run(&config, &trace);
+        let mut bytes: Vec<u8> = Vec::new();
+        let summary = mosaic::sim::runner::run_streaming(&config, &trace, &mut bytes).unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            collected.to_csv(),
+            "{strategy}"
+        );
+        assert_eq!(summary.aggregate, collected.aggregate, "{strategy}");
+    }
+}
+
+#[test]
 fn parallel_grid_output_is_byte_identical_to_sequential() {
     let scale = Scale::quick();
     let sequential = experiments::effectiveness_grid_with(&scale, Parallelism::Sequential);
