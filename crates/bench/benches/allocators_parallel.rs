@@ -1,0 +1,198 @@
+//! Sequential-oracle versus pool-parallel allocator hot paths: the
+//! Metis-style multilevel partitioner and G-TxAllo on the same
+//! community graph, across graph sizes.
+//!
+//! Besides the criterion-style console report, a full (non `--test`)
+//! run records the measured minima in `BENCH_alloc.json` at the
+//! repository root so the perf trajectory is tracked across PRs
+//! (`bench_check` gates CI on it). The file records the worker and CPU
+//! counts of the measuring machine: a thread speedup is only meaningful
+//! when `cpus > 1`, and `bench_check` skips the absolute speedup gate
+//! otherwise (single-core boxes still regression-check the ratios).
+//!
+//! ```text
+//! cargo bench -p mosaic-bench --bench allocators_parallel            # full
+//! cargo bench -p mosaic-bench --bench allocators_parallel -- --test  # smoke
+//! MOSAIC_BENCH_WORKERS=8 cargo bench -p mosaic-bench --bench allocators_parallel
+//! ```
+
+use std::num::NonZeroUsize;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_metrics::parallel::Parallelism;
+use mosaic_partition::MetisPartitioner;
+use mosaic_txallo::{GTxAllo, TxAlloConfig};
+use mosaic_txgraph::{GraphBuilder, TxGraph};
+use mosaic_workload::{generate, WorkloadConfig};
+
+const SHARDS: u16 = 16;
+
+/// One community-structured interaction graph per size step.
+fn build_graph(accounts: usize, blocks: u64) -> TxGraph {
+    let config = WorkloadConfig::small_test(0xA110C)
+        .with_accounts(accounts)
+        .with_blocks(blocks)
+        .with_txs_per_block(10)
+        .with_communities((accounts / 80).max(8));
+    let trace = generate(&config).into_trace();
+    let mut builder = GraphBuilder::new();
+    builder.add_transactions(trace.transactions());
+    builder.build()
+}
+
+/// Minimum wall-clock over `reps` runs of `f`.
+fn measure<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Worker count under test: `MOSAIC_BENCH_WORKERS` or every available
+/// CPU (at least 2 so the parallel code path always engages).
+fn bench_workers() -> usize {
+    std::env::var("MOSAIC_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| cpus().max(2))
+}
+
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+struct Row {
+    allocator: &'static str,
+    nodes: usize,
+    edges: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+fn write_json(rows: &[Row], workers: usize) {
+    let mut results = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(&format!(
+            "\n    {{\"allocator\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}",
+            row.allocator,
+            row.nodes,
+            row.edges,
+            row.seq_ms,
+            row.par_ms,
+            row.seq_ms / row.par_ms.max(1e-9)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"allocators_parallel\",\n  \"unit\": \"ms (min over reps, one full allocation)\",\n  \"workers\": {workers},\n  \"cpus\": {},\n  \"shards\": {SHARDS},\n  \"results\": [{results}\n  ]\n}}\n",
+        cpus()
+    );
+    // Repo root, resolved from the bench crate's manifest dir so the
+    // file lands in the same place regardless of invocation cwd.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_alloc.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn bench_parallel_allocators(c: &mut Criterion) {
+    // Detect smoke mode from the CLI directly (not via the shim's
+    // internals) so this bench still compiles against real criterion,
+    // which exposes no such query but accepts the same --test flag.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let workers = bench_workers();
+    let parallel = Parallelism::Threads(workers);
+
+    // (accounts, blocks) size steps; the largest is the gated one.
+    let sizes: &[(usize, u64)] = if smoke {
+        &[(800, 800)]
+    } else {
+        &[(2_000, 2_000), (8_000, 8_000), (24_000, 20_000)]
+    };
+    let reps = if smoke { 1 } else { 3 };
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("parallel_allocators");
+    group.sample_size(if smoke { 1 } else { 3 });
+    for &(accounts, blocks) in sizes {
+        let graph = build_graph(accounts, blocks);
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+
+        let metis_seq = MetisPartitioner::default();
+        let metis_par = MetisPartitioner::default().with_parallelism(parallel);
+        let txallo_seq = GTxAllo::default();
+        let txallo_par = GTxAllo::new(TxAlloConfig::default().with_parallelism(parallel));
+
+        // The parallel paths must reproduce the sequential oracles
+        // exactly — a wrong answer makes the timing meaningless.
+        assert_eq!(
+            metis_par.partition(&graph, SHARDS),
+            metis_seq.partition(&graph, SHARDS),
+            "parallel Metis diverged from the sequential oracle"
+        );
+        assert_eq!(
+            txallo_par.partition(&graph, SHARDS),
+            txallo_seq.partition(&graph, SHARDS),
+            "parallel G-TxAllo diverged from the sequential oracle"
+        );
+
+        group.bench_with_input(BenchmarkId::new("metis_seq", nodes), &graph, |b, g| {
+            b.iter(|| metis_seq.partition(g, SHARDS))
+        });
+        group.bench_with_input(BenchmarkId::new("metis_par", nodes), &graph, |b, g| {
+            b.iter(|| metis_par.partition(g, SHARDS))
+        });
+        group.bench_with_input(BenchmarkId::new("g_txallo_seq", nodes), &graph, |b, g| {
+            b.iter(|| txallo_seq.partition(g, SHARDS))
+        });
+        group.bench_with_input(BenchmarkId::new("g_txallo_par", nodes), &graph, |b, g| {
+            b.iter(|| txallo_par.partition(g, SHARDS))
+        });
+
+        rows.push(Row {
+            allocator: "metis",
+            nodes,
+            edges,
+            seq_ms: measure(reps, || metis_seq.partition(&graph, SHARDS)).as_secs_f64() * 1e3,
+            par_ms: measure(reps, || metis_par.partition(&graph, SHARDS)).as_secs_f64() * 1e3,
+        });
+        rows.push(Row {
+            allocator: "g_txallo",
+            nodes,
+            edges,
+            seq_ms: measure(reps, || txallo_seq.partition(&graph, SHARDS)).as_secs_f64() * 1e3,
+            par_ms: measure(reps, || txallo_par.partition(&graph, SHARDS)).as_secs_f64() * 1e3,
+        });
+    }
+    group.finish();
+
+    for row in &rows {
+        println!(
+            "parallel_allocators/{}/{} nodes: seq {:.3} ms, par({} workers) {:.3} ms ({:.2}x)",
+            row.allocator,
+            row.nodes,
+            row.seq_ms,
+            workers,
+            row.par_ms,
+            row.seq_ms / row.par_ms.max(1e-9)
+        );
+    }
+    if !smoke {
+        write_json(&rows, workers);
+    }
+}
+
+criterion_group!(benches, bench_parallel_allocators);
+criterion_main!(benches);

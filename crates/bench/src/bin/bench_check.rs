@@ -1,0 +1,399 @@
+//! CI gate over the recorded `BENCH_*.json` speedups — no dependencies,
+//! no JSON crate, just the two shapes our benches write.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [--min-ratio 0.9] [--min-final 2.0]
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. **Regression ratio** — every baseline entry's speedup must be
+//!    matched positionally by a current entry with
+//!    `current / baseline >= min-ratio` (default 0.9×). Both files are
+//!    written by the same bench code, so positional matching is exact;
+//!    the labels are printed for every row.
+//! 2. **Absolute thread speedup** — when the *current* file records a
+//!    multi-threaded allocator run on real cores (`"workers"` present
+//!    and `"cpus" > 1`), the largest-size entry of every allocator must
+//!    reach `min-final` (default 2.0×). On a single-core runner the
+//!    gate is skipped with a note — a thread speedup cannot exist
+//!    there, and pretending otherwise would just train people to
+//!    ignore the gate.
+//!
+//! Exit status: 0 pass, 1 gate failed, 2 usage/parse error.
+
+use std::process::ExitCode;
+
+/// One `{...}` entry of a bench file's `"results"` array.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    /// `"allocator"` value when present (allocators_parallel shape).
+    allocator: Option<String>,
+    /// `"nodes"` or `"epochs"` — whatever sizes the entry.
+    size: f64,
+    speedup: f64,
+}
+
+/// The parsed skeleton of one bench JSON file.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchFile {
+    bench: String,
+    workers: Option<f64>,
+    cpus: Option<f64>,
+    entries: Vec<Entry>,
+}
+
+/// Extracts the number following `"key":` in `text`, if any.
+fn find_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string following `"key":` in `text`, if any.
+fn find_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn parse(content: &str) -> Result<BenchFile, String> {
+    let bench = find_string(content, "bench").ok_or("missing \"bench\" field")?;
+    let results_at = content
+        .find("\"results\"")
+        .ok_or("missing \"results\" array")?;
+    let body = &content[results_at..];
+    let mut entries = Vec::new();
+    // Entries are flat objects: split on '{' after the array opens.
+    for chunk in body.split('{').skip(1) {
+        let entry = &chunk[..chunk.find('}').ok_or("unterminated results entry")?];
+        let speedup = find_number(entry, "speedup")
+            .ok_or_else(|| format!("entry without a speedup: {entry:?}"))?;
+        let size = find_number(entry, "nodes")
+            .or_else(|| find_number(entry, "epochs"))
+            .unwrap_or(0.0);
+        entries.push(Entry {
+            allocator: find_string(entry, "allocator"),
+            size,
+            speedup,
+        });
+    }
+    if entries.is_empty() {
+        return Err("no results entries".into());
+    }
+    Ok(BenchFile {
+        bench,
+        workers: find_number(content, "workers"),
+        cpus: find_number(content, "cpus"),
+        entries,
+    })
+}
+
+fn label(e: &Entry) -> String {
+    match &e.allocator {
+        Some(a) => format!("{a}/{}", e.size),
+        None => format!("@{}", e.size),
+    }
+}
+
+/// Runs both gates; returns human-readable failures (empty = pass).
+fn check(baseline: &BenchFile, current: &BenchFile, min_ratio: f64, min_final: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    if baseline.bench != current.bench {
+        failures.push(format!(
+            "bench mismatch: baseline {:?} vs current {:?}",
+            baseline.bench, current.bench
+        ));
+        return failures;
+    }
+    if baseline.entries.len() != current.entries.len() {
+        failures.push(format!(
+            "entry count changed: baseline {} vs current {} — re-commit the baseline",
+            baseline.entries.len(),
+            current.entries.len()
+        ));
+        return failures;
+    }
+
+    // Thread speedups only compare like-for-like: a baseline measured
+    // on a different core count would make the ratio gate vacuous (1
+    // baseline core vs 4 CI cores) or spuriously flaky (the reverse).
+    // Files without a cpus field (algorithmic speedups, e.g.
+    // graph_delta) compare across machines fine.
+    let comparable = baseline.cpus == current.cpus;
+    if !comparable {
+        println!(
+            "{}: baseline cpus {:?} != current cpus {:?} — ratio gate skipped \
+             (re-commit a baseline from this runner class to arm it)",
+            current.bench, baseline.cpus, current.cpus
+        );
+    }
+    for (base, cur) in baseline.entries.iter().zip(&current.entries) {
+        let ratio = cur.speedup / base.speedup.max(1e-9);
+        let verdict = if !comparable {
+            "(not comparable)"
+        } else if ratio >= min_ratio {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        println!(
+            "{}: {} speedup {:.2}x vs baseline {:.2}x (ratio {:.2}) {}",
+            current.bench,
+            label(cur),
+            cur.speedup,
+            base.speedup,
+            ratio,
+            verdict
+        );
+        if comparable && ratio < min_ratio {
+            failures.push(format!(
+                "{} speedup regressed to {:.2}x of baseline (floor {min_ratio}x)",
+                label(cur),
+                ratio
+            ));
+        }
+    }
+
+    // Absolute thread-speedup gate (allocator benches on real cores).
+    let multicore = current.cpus.is_some_and(|c| c > 1.0);
+    if current.workers.is_some() && current.entries.iter().any(|e| e.allocator.is_some()) {
+        if multicore {
+            let mut allocators: Vec<&str> = current
+                .entries
+                .iter()
+                .filter_map(|e| e.allocator.as_deref())
+                .collect();
+            // The results interleave allocators per size step, so sort
+            // before dedup (dedup alone only drops consecutive runs).
+            allocators.sort_unstable();
+            allocators.dedup();
+            for allocator in allocators {
+                let largest = current
+                    .entries
+                    .iter()
+                    .filter(|e| e.allocator.as_deref() == Some(allocator))
+                    .max_by(|a, b| a.size.total_cmp(&b.size))
+                    .expect("allocator has entries");
+                println!(
+                    "{}: {} largest-size speedup {:.2}x (floor {min_final}x)",
+                    current.bench,
+                    label(largest),
+                    largest.speedup
+                );
+                if largest.speedup < min_final {
+                    failures.push(format!(
+                        "{} largest-size speedup {:.2}x below the {min_final}x floor",
+                        label(largest),
+                        largest.speedup
+                    ));
+                }
+            }
+        } else {
+            println!(
+                "{}: single-CPU run recorded (cpus = {:?}) — absolute speedup gate skipped",
+                current.bench, current.cpus
+            );
+        }
+    }
+    failures
+}
+
+fn run(args: &[String]) -> Result<Vec<String>, String> {
+    let mut paths = Vec::new();
+    let mut min_ratio = 0.9f64;
+    let mut min_final = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-ratio" => {
+                min_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-ratio needs a number")?;
+            }
+            "--min-final" => {
+                min_final = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-final needs a number")?;
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("usage: bench_check <baseline.json> <current.json> \
+                    [--min-ratio 0.9] [--min-final 2.0]"
+            .into());
+    };
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline = parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = parse(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
+    Ok(check(&baseline, &current, min_ratio, min_final))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench_check: all gates passed");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench_check: FAIL: {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALLOC: &str = r#"{
+  "bench": "allocators_parallel",
+  "unit": "ms",
+  "workers": 4,
+  "cpus": 4,
+  "shards": 16,
+  "results": [
+    {"allocator": "metis", "nodes": 2000, "edges": 9000, "seq_ms": 10.0, "par_ms": 6.0, "speedup": 1.67},
+    {"allocator": "metis", "nodes": 24000, "edges": 90000, "seq_ms": 200.0, "par_ms": 80.0, "speedup": 2.50},
+    {"allocator": "g_txallo", "nodes": 24000, "edges": 90000, "seq_ms": 300.0, "par_ms": 120.0, "speedup": 2.50}
+  ]
+}"#;
+
+    const GRAPH: &str = r#"{
+  "bench": "graph_delta",
+  "unit": "ms",
+  "trace": {"blocks": 2000, "txs_per_block": 8},
+  "results": [
+    {"epochs": 4, "txs": 16000, "full_rebuild_ms": 5.0, "merge_delta_ms": 4.0, "speedup": 1.24},
+    {"epochs": 64, "txs": 16000, "full_rebuild_ms": 37.9, "merge_delta_ms": 8.0, "speedup": 4.72}
+  ]
+}"#;
+
+    #[test]
+    fn parses_both_shapes() {
+        let alloc = parse(ALLOC).unwrap();
+        assert_eq!(alloc.bench, "allocators_parallel");
+        assert_eq!(alloc.cpus, Some(4.0));
+        assert_eq!(alloc.entries.len(), 3);
+        assert_eq!(alloc.entries[1].allocator.as_deref(), Some("metis"));
+        assert_eq!(alloc.entries[1].size, 24000.0);
+        assert_eq!(alloc.entries[1].speedup, 2.5);
+
+        let graph = parse(GRAPH).unwrap();
+        assert_eq!(graph.bench, "graph_delta");
+        assert_eq!(graph.workers, None);
+        assert_eq!(graph.entries[1].size, 64.0);
+        assert_eq!(graph.entries[1].speedup, 4.72);
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let f = parse(ALLOC).unwrap();
+        assert!(check(&f, &f, 0.9, 2.0).is_empty());
+        let g = parse(GRAPH).unwrap();
+        assert!(check(&g, &g, 0.9, 2.0).is_empty());
+    }
+
+    #[test]
+    fn regression_below_ratio_fails() {
+        let base = parse(GRAPH).unwrap();
+        let mut cur = base.clone();
+        cur.entries[1].speedup = 4.72 * 0.8; // 0.8 < 0.9 floor
+        let failures = check(&base, &cur, 0.9, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+    }
+
+    #[test]
+    fn absolute_gate_fires_once_per_allocator_on_interleaved_entries() {
+        // The real bench file interleaves allocators per size step:
+        // [metis, g_txallo, metis, g_txallo, ...]. The gate must still
+        // evaluate each allocator exactly once (plain dedup would not).
+        let interleaved = r#"{
+  "bench": "allocators_parallel", "workers": 4, "cpus": 4,
+  "results": [
+    {"allocator": "metis", "nodes": 2000, "speedup": 1.5},
+    {"allocator": "g_txallo", "nodes": 2000, "speedup": 1.5},
+    {"allocator": "metis", "nodes": 24000, "speedup": 1.5},
+    {"allocator": "g_txallo", "nodes": 24000, "speedup": 1.5}
+  ]
+}"#;
+        let f = parse(interleaved).unwrap();
+        let failures = check(&f, &f, 0.9, 2.0);
+        assert_eq!(failures.len(), 2, "one failure per allocator: {failures:?}");
+    }
+
+    #[test]
+    fn ratio_gate_skipped_across_different_cpu_counts() {
+        // Baseline from a 1-core box, current from a 4-core runner:
+        // the thread-speedup ratio is not comparable, so a "regression"
+        // must not fire — but the absolute multi-core floor still does.
+        let single = ALLOC.replace("\"cpus\": 4", "\"cpus\": 1");
+        let base = parse(&single).unwrap();
+        let mut cur = parse(ALLOC).unwrap();
+        for e in &mut cur.entries {
+            e.speedup = 0.5; // would trip the ratio gate if armed
+        }
+        let failures = check(&base, &cur, 0.9, 2.0);
+        assert_eq!(failures.len(), 2, "{failures:?}"); // one per allocator
+        assert!(failures.iter().all(|f| f.contains("below the 2x floor")));
+    }
+
+    #[test]
+    fn absolute_gate_fails_below_floor_on_multicore() {
+        let base = parse(ALLOC).unwrap();
+        let mut cur = base.clone();
+        // Largest metis entry sinks below the 2.3x floor while staying
+        // above the (loosened) regression ratio floor.
+        cur.entries[1].speedup = 2.2;
+        let failures = check(&base, &cur, 0.8, 2.3);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("below the 2.3x floor"), "{failures:?}");
+    }
+
+    #[test]
+    fn absolute_gate_skipped_on_single_cpu() {
+        let single = ALLOC.replace("\"cpus\": 4", "\"cpus\": 1");
+        let base = parse(&single).unwrap();
+        let mut cur = base.clone();
+        for e in &mut cur.entries {
+            e.speedup = 1.0; // no thread speedup on one core
+        }
+        for e in &mut cur.entries {
+            // Keep the ratio gate out of the way for this test.
+            e.speedup = e.speedup.max(1.0);
+        }
+        let mut base_flat = base.clone();
+        for e in &mut base_flat.entries {
+            e.speedup = 1.0;
+        }
+        assert!(check(&base_flat, &cur, 0.9, 2.0).is_empty());
+    }
+
+    #[test]
+    fn shape_changes_are_loud() {
+        let base = parse(ALLOC).unwrap();
+        let mut cur = base.clone();
+        cur.entries.pop();
+        let failures = check(&base, &cur, 0.9, 2.0);
+        assert!(failures[0].contains("entry count changed"), "{failures:?}");
+        let graph = parse(GRAPH).unwrap();
+        let failures = check(&base, &graph, 0.9, 2.0);
+        assert!(failures[0].contains("bench mismatch"), "{failures:?}");
+    }
+}

@@ -1,4 +1,5 @@
-//! Streams one full-protocol run per strategy to disk.
+//! Streams one full-protocol run per strategy to disk — and doubles as
+//! the CI determinism gate.
 //!
 //! For every registry strategy the cell runs with within-cell
 //! parallelism enabled ([`Parallelism::Auto`]) and each per-epoch
@@ -7,23 +8,102 @@
 //! `MOSAIC_SCALE=full` (the paper's 200-epoch protocol) runs in
 //! bounded memory at hardware speed.
 //!
+//! With `--check-determinism` no files are written: every strategy's
+//! cell runs **twice** — `cell_parallelism` 1 versus a thread count
+//! beyond the machine's cores — and the two CSV byte streams are
+//! compared. Any difference exits non-zero; this is the end-to-end
+//! enforcement of the allocators' parallel-equals-sequential contract.
+//!
 //! ```text
 //! MOSAIC_SCALE=full cargo run -p mosaic-bench --release --bin full_run
 //! MOSAIC_STRATEGY=Pilot cargo run -p mosaic-bench --release --bin full_run
+//! MOSAIC_SCALE=quick cargo run -p mosaic-bench --release --bin full_run -- --check-determinism
 //! ```
 
 use std::fs;
 use std::io::BufWriter;
+use std::num::NonZeroUsize;
 use std::path::Path;
 
 use mosaic_bench::scale_from_env;
 use mosaic_sim::runner::{run_streaming, ExperimentConfig};
 use mosaic_sim::{Parallelism, Strategy};
 use mosaic_types::SystemParams;
-use mosaic_workload::generate;
+use mosaic_workload::{generate, TransactionTrace};
+
+/// Runs every (filtered) strategy with `cell_parallelism` 1 vs max and
+/// fails on any CSV byte difference. Returns `(checked, divergent)`
+/// strategy counts — a gate that compared nothing must not pass.
+fn check_determinism(
+    params: SystemParams,
+    trace: &TransactionTrace,
+    eval_epochs: usize,
+    only: Option<&str>,
+) -> (usize, usize) {
+    // Strictly more workers than the machine has cores (2x,
+    // minimum 4), so the threaded code paths engage even on
+    // single-core runners AND the oversubscribed-scheduling case is
+    // exercised on every runner.
+    let max_workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .saturating_mul(2)
+        .max(4);
+    let mut checked = 0usize;
+    let mut divergent = 0usize;
+    for strategy in Strategy::ALL {
+        if only.is_some_and(|s| s != strategy.name()) {
+            continue;
+        }
+        checked += 1;
+        let config = ExperimentConfig::new(params, strategy, eval_epochs);
+        let mut sequential: Vec<u8> = Vec::new();
+        run_streaming(
+            &config.with_cell_parallelism(Parallelism::Threads(1)),
+            trace,
+            &mut sequential,
+        )
+        .expect("vec sink cannot fail");
+        let mut parallel: Vec<u8> = Vec::new();
+        run_streaming(
+            &config.with_cell_parallelism(Parallelism::Threads(max_workers)),
+            trace,
+            &mut parallel,
+        )
+        .expect("vec sink cannot fail");
+        if sequential == parallel {
+            println!(
+                "{:<10} OK: {} CSV bytes identical at 1 vs {} workers",
+                strategy.name(),
+                sequential.len(),
+                max_workers,
+            );
+        } else {
+            divergent += 1;
+            let first_diff = sequential
+                .iter()
+                .zip(&parallel)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| sequential.len().min(parallel.len()));
+            eprintln!(
+                "{:<10} DIVERGED: first differing byte at offset {first_diff} \
+                 ({} vs {} bytes total)",
+                strategy.name(),
+                sequential.len(),
+                parallel.len(),
+            );
+        }
+    }
+    (checked, divergent)
+}
 
 fn main() {
-    let scale = scale_from_env("Full-protocol streaming run (per-epoch CSV per strategy)");
+    let check = std::env::args().any(|a| a == "--check-determinism");
+    let scale = scale_from_env(if check {
+        "Determinism gate (cell_parallelism 1 vs max, byte-compared CSVs)"
+    } else {
+        "Full-protocol streaming run (per-epoch CSV per strategy)"
+    });
     let params = SystemParams::builder()
         .shards(16)
         .eta(2.0)
@@ -42,6 +122,23 @@ fn main() {
     }
 
     let trace = generate(&scale.workload).into_trace();
+
+    if check {
+        let (checked, divergent) =
+            check_determinism(params, &trace, scale.eval_epochs, only.as_deref());
+        if divergent > 0 {
+            eprintln!("determinism check FAILED for {divergent} strategies");
+            std::process::exit(1);
+        }
+        // Belt and braces: the filter is validated above, but a gate
+        // that compared nothing must never report success.
+        if checked == 0 {
+            eprintln!("determinism check matched no strategies");
+            std::process::exit(1);
+        }
+        println!("determinism check passed for all {checked} strategies");
+        return;
+    }
     // Repo root, resolved from this crate's manifest dir so the output
     // lands in the gitignored /results regardless of invocation cwd.
     let results_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

@@ -34,5 +34,8 @@ pub mod report;
 pub mod timing;
 
 pub use load::{EpochLoad, LoadParams};
-pub use parallel::{for_each_indexed_mut, ordered_map, Parallelism};
+pub use parallel::{
+    chunked_scan_commit, for_each_indexed_mut, map_indexed, map_indexed_scratch, ordered_map,
+    scan_chunk_size, Parallelism,
+};
 pub use report::{Aggregate, AggregateBuilder, EpochCsvWriter, EpochMetrics, TextTable};

@@ -1,6 +1,6 @@
 //! Order-stable parallel execution of independent work items.
 //!
-//! Two layers of the evaluation parallelise over this module:
+//! Three layers of the evaluation parallelise over this module:
 //!
 //! * **across cells** — every cell of the paper's grid is independent
 //!   (same trace, different strategy × parameter pair), so
@@ -8,13 +8,20 @@
 //! * **within a cell** — one epoch's transaction classification and the
 //!   per-shard chain commits decompose into independent per-shard /
 //!   per-chunk work items ([`EpochLoad::compute_with`],
-//!   `Ledger::process_epoch`), dispatched on the same pool.
+//!   `Ledger::process_epoch`), dispatched on the same pool;
+//! * **within an allocator** — the Metis-style multilevel partitioner
+//!   and the TxAllo objective loops score candidate moves per node over
+//!   [`map_indexed`] / [`map_indexed_scratch`] and commit them through
+//!   the sequential validated walk of [`chunked_scan_commit`]
+//!   (`mosaic-partition`, `mosaic-txallo`).
 //!
 //! What must *not* vary with scheduling is the output: [`ordered_map`]
 //! returns results in input order regardless of which worker finishes
-//! first, and [`for_each_indexed_mut`] hands each worker a disjoint
-//! contiguous chunk — so a parallel run is byte-identical to a
-//! sequential one (asserted in `mosaic-sim`'s tests).
+//! first, [`for_each_indexed_mut`] hands each worker a disjoint
+//! contiguous chunk, and [`chunked_scan_commit`] applies every state
+//! mutation on the calling thread in input order — so a parallel run is
+//! byte-identical to a sequential one (asserted in `mosaic-sim`'s tests
+//! and proptested against the sequential allocator oracles).
 //!
 //! [`EpochLoad::compute_with`]: crate::EpochLoad::compute_with
 
@@ -128,6 +135,154 @@ where
     });
 }
 
+/// Computes `f(i)` for every `i in 0..len` on the pool and returns the
+/// results in index order.
+///
+/// Indices are split into one contiguous chunk per worker (like
+/// [`for_each_indexed_mut`]), so the output is identical to the
+/// sequential `(0..len).map(f).collect()` whenever `f(i)` depends only
+/// on `i` and shared immutable state. With [`Parallelism::Sequential`]
+/// (or a single index) no thread is spawned.
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker.
+pub fn map_indexed<R, F>(len: usize, parallelism: Parallelism, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_indexed_scratch(len, parallelism, || (), |(), i| f(i))
+}
+
+/// [`map_indexed`] with one reusable scratch value per worker.
+///
+/// `make_scratch` runs once per worker (once total when sequential);
+/// `f(&mut scratch, i)` may freely mutate its worker's scratch between
+/// items — the classic "reuse one histogram buffer per worker instead
+/// of allocating per node" pattern the allocator hot loops need. Output
+/// order and content are independent of the worker count as long as
+/// `f`'s *result* does not depend on scratch left-overs (clear what you
+/// use).
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker.
+pub fn map_indexed_scratch<S, R, M, F>(
+    len: usize,
+    parallelism: Parallelism,
+    make_scratch: M,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = parallelism.workers(len);
+    if workers <= 1 {
+        let mut scratch = make_scratch();
+        return (0..len).map(|i| f(&mut scratch, i)).collect();
+    }
+
+    let chunk_len = len.div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let make_scratch = &make_scratch;
+            scope.spawn(move || {
+                let mut scratch = make_scratch();
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(&mut scratch, c * chunk_len + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot filled by the pool"))
+        .collect()
+}
+
+/// A chunk size for [`chunked_scan_commit`] that amortises the per-chunk
+/// thread spawn while keeping the scored snapshots reasonably fresh.
+///
+/// Targets ~2 chunks per worker per sweep: each chunk pays one scoped
+/// spawn/join round, so fewer-but-larger chunks win as long as stale
+/// rescans stay rare — and they do, because a commit only rescans the
+/// nodes whose neighbourhood actually changed inside the chunk.
+pub fn scan_chunk_size(len: usize, parallelism: Parallelism) -> usize {
+    let workers = parallelism.workers(len).max(1);
+    len.div_ceil(workers * 2).clamp(1024, 16384)
+}
+
+/// Chunked *parallel score → sequential commit* over `len` work items:
+/// the deterministic-parallel pattern behind the allocator hot loops.
+///
+/// Greedy allocation sweeps (label propagation, FM refinement, the
+/// TxAllo objective walk) are sequential by nature — each committed move
+/// changes the state later decisions read. What *is* embarrassingly
+/// parallel is the per-item scoring scan (neighbour histograms, gain
+/// vectors). This helper splits the items into chunks; for each chunk it
+/// runs `score(&mut scratch, &state, i)` on the pool against an
+/// immutable snapshot of the state, then replays
+/// `commit(&mut state, i, scored)` **sequentially in input order** on
+/// the calling thread. A commit that detects its score is stale (state
+/// it depends on changed earlier in the chunk) simply rescores inline —
+/// the result is *identical* to the fully sequential sweep, only the
+/// scan cost is spread over workers.
+///
+/// With a single worker the scan-and-commit runs inline per item (no
+/// chunk buffering, no threads).
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker, and panics if `len > 0`
+/// with a zero `chunk_size`.
+pub fn chunked_scan_commit<St, Sc, T, M, Score, Commit>(
+    state: &mut St,
+    len: usize,
+    chunk_size: usize,
+    parallelism: Parallelism,
+    make_scratch: M,
+    score: Score,
+    mut commit: Commit,
+) where
+    St: Sync,
+    T: Send,
+    M: Fn() -> Sc + Sync,
+    Score: Fn(&mut Sc, &St, usize) -> T + Sync,
+    Commit: FnMut(&mut St, usize, T),
+{
+    if len == 0 {
+        return;
+    }
+    if parallelism.workers(len) <= 1 {
+        let mut scratch = make_scratch();
+        for i in 0..len {
+            let scored = score(&mut scratch, state, i);
+            commit(state, i, scored);
+        }
+        return;
+    }
+    assert!(chunk_size > 0, "chunked_scan_commit needs a nonzero chunk");
+
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + chunk_size).min(len);
+        let scored = {
+            let snapshot: &St = state;
+            map_indexed_scratch(end - start, parallelism, &make_scratch, |scratch, off| {
+                score(scratch, snapshot, start + off)
+            })
+        };
+        for (off, item) in scored.into_iter().enumerate() {
+            commit(state, start + off, item);
+        }
+        start = end;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +337,93 @@ mod tests {
     fn for_each_indexed_mut_handles_empty() {
         let mut empty: Vec<u8> = Vec::new();
         for_each_indexed_mut(&mut empty, Parallelism::Auto, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential_map() {
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::Threads(5),
+        ] {
+            let out = map_indexed(100, parallelism, |i| i * 3 + 1);
+            let expected: Vec<usize> = (0..100).map(|i| i * 3 + 1).collect();
+            assert_eq!(out, expected, "{parallelism:?}");
+        }
+        assert!(map_indexed(0, Parallelism::Auto, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_indexed_scratch_reuses_one_buffer_per_worker() {
+        // Each worker's scratch accumulates; the *result* only uses the
+        // current item, so output must match sequential regardless.
+        let out = map_indexed_scratch(
+            64,
+            Parallelism::Threads(4),
+            Vec::<usize>::new,
+            |scratch, i| {
+                scratch.push(i);
+                // Chunks are contiguous: the scratch always ends with i.
+                assert_eq!(*scratch.last().unwrap(), i);
+                i * i
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_scan_commit_equals_sequential_greedy_sweep() {
+        // A toy greedy sweep with state feedback: item i is "accepted"
+        // iff its value exceeds the running total's low bits. The scored
+        // scan reads the total (stale across a chunk); commit rescores
+        // when stale, so every parallelism level must agree.
+        let values: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(2654435761) % 97)
+            .collect();
+        let run = |parallelism: Parallelism, chunk: usize| {
+            let mut state: (u64, Vec<bool>) = (0, vec![false; values.len()]);
+            chunked_scan_commit(
+                &mut state,
+                values.len(),
+                chunk,
+                parallelism,
+                || (),
+                |(), st, i| {
+                    let accept = values[i] > st.0 % 50;
+                    (st.0, accept)
+                },
+                |st, i, (seen_total, accept)| {
+                    // Stale iff the total moved since scoring: rescore.
+                    let accept = if st.0 == seen_total {
+                        accept
+                    } else {
+                        values[i] > st.0 % 50
+                    };
+                    if accept {
+                        st.0 += values[i];
+                        st.1[i] = true;
+                    }
+                },
+            );
+            state
+        };
+        let sequential = run(Parallelism::Sequential, 1);
+        for (parallelism, chunk) in [
+            (Parallelism::Threads(2), 16),
+            (Parallelism::Threads(4), 64),
+            (Parallelism::Threads(3), 512),
+            (Parallelism::Auto, 100),
+        ] {
+            assert_eq!(run(parallelism, chunk), sequential, "{parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn scan_chunk_size_is_bounded() {
+        assert_eq!(scan_chunk_size(0, Parallelism::Auto), 1024);
+        assert_eq!(scan_chunk_size(100, Parallelism::Threads(4)), 1024);
+        assert_eq!(scan_chunk_size(1 << 22, Parallelism::Threads(4)), 16384);
+        let mid = scan_chunk_size(100_000, Parallelism::Threads(4));
+        assert!((1024..=16384).contains(&mid), "{mid}");
     }
 }

@@ -12,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use mosaic_metrics::parallel::{chunked_scan_commit, scan_chunk_size, Parallelism};
 use mosaic_txgraph::{NodeId, TxGraph};
 use mosaic_types::hash::FnvHashMap;
 use mosaic_types::{AccountShardMap, ShardId};
@@ -27,6 +28,10 @@ pub struct LabelPropagation {
     pub cap_factor: f64,
     /// Seed for the deterministic visit-order shuffle.
     pub seed: u64,
+    /// Worker-pool sizing for the label-scoring scan. The partition is
+    /// bit-identical at every level (the commit walk stays sequential),
+    /// so this is purely a throughput knob.
+    pub parallelism: Parallelism,
 }
 
 impl Default for LabelPropagation {
@@ -35,11 +40,86 @@ impl Default for LabelPropagation {
             rounds: 8,
             cap_factor: 1.1,
             seed: 0x1abe1,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
 
+/// Scores `v`'s connectivity per neighbouring label into `entries`,
+/// reusing the caller's histogram scratch (one per worker — never an
+/// allocation per node).
+fn score_labels(
+    graph: &TxGraph,
+    label: &[u32],
+    v: usize,
+    scratch: &mut FnvHashMap<u32, f64>,
+    entries: &mut Vec<(u32, f64)>,
+) {
+    scratch.clear();
+    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+        *scratch.entry(label[nb.index()]).or_default() += w as f64;
+    }
+    entries.clear();
+    entries.extend(scratch.iter().map(|(&l, &c)| (l, c)));
+}
+
+/// The relabel decision shared verbatim by the sequential oracle and the
+/// parallel commit walk: adopt the most-connected other label under the
+/// cap (ties to the lower label id), when strictly better-connected than
+/// the current one. Order-independent over `entries` (the comparator is
+/// a total order), so hashmap iteration order never leaks into the
+/// result. Returns `true` on a move.
+fn commit_label_move(
+    v: usize,
+    entries: &[(u32, f64)],
+    dv: &[f64],
+    cap: f64,
+    label: &mut [u32],
+    label_weight: &mut [f64],
+) -> bool {
+    let own = label[v];
+    let mut own_conn = 0.0f64;
+    let mut best: Option<(u32, f64)> = None;
+    for &(l, c) in entries {
+        if l == own {
+            own_conn = c;
+            continue;
+        }
+        if label_weight[l as usize] + dv[v] > cap {
+            continue;
+        }
+        match best {
+            Some((bl, bc)) if c < bc || (c == bc && l >= bl) => {}
+            _ => best = Some((l, c)),
+        }
+    }
+    if let Some((l, c)) = best {
+        if c > own_conn {
+            label_weight[own as usize] -= dv[v];
+            label_weight[l as usize] += dv[v];
+            label[v] = l;
+            return true;
+        }
+    }
+    false
+}
+
+/// Sweep state for the parallel path: live labels plus move stamps so a
+/// commit can detect that a prescored histogram went stale.
+struct SweepState<'a> {
+    label: &'a mut [u32],
+    label_weight: &'a mut [f64],
+    stamp: Vec<u32>,
+    moves: u32,
+}
+
 impl LabelPropagation {
+    /// Returns the allocator with its worker-pool sizing replaced.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Partitions `graph` into `k` parts.
     ///
     /// # Panics
@@ -73,38 +153,67 @@ impl LabelPropagation {
             order.swap(i, j);
         }
 
-        let mut conn: FnvHashMap<u32, f64> = FnvHashMap::default();
-        for _ in 0..self.rounds {
-            let mut moves = 0usize;
-            for &v in &order {
-                let v = v as usize;
-                let own = label[v];
-                conn.clear();
-                for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
-                    *conn.entry(label[nb.index()]).or_default() += w as f64;
-                }
-                let own_conn = conn.get(&own).copied().unwrap_or(0.0);
-                let mut best: Option<(u32, f64)> = None;
-                for (&l, &c) in &conn {
-                    if l == own || label_weight[l as usize] + dv[v] > cap {
-                        continue;
-                    }
-                    match best {
-                        Some((bl, bc)) if c < bc || (c == bc && l >= bl) => {}
-                        _ => best = Some((l, c)),
-                    }
-                }
-                if let Some((l, c)) = best {
-                    if c > own_conn {
-                        label_weight[own as usize] -= dv[v];
-                        label_weight[l as usize] += dv[v];
-                        label[v] = l;
+        if self.parallelism.workers(n) <= 1 {
+            // Sequential reference sweep: one histogram + one entry
+            // buffer reused across nodes and sweeps.
+            let mut scratch: FnvHashMap<u32, f64> = FnvHashMap::default();
+            let mut entries: Vec<(u32, f64)> = Vec::new();
+            for _ in 0..self.rounds {
+                let mut moves = 0usize;
+                for &v in &order {
+                    let v = v as usize;
+                    score_labels(graph, &label, v, &mut scratch, &mut entries);
+                    if commit_label_move(v, &entries, &dv, cap, &mut label, &mut label_weight) {
                         moves += 1;
                     }
                 }
+                if moves == 0 {
+                    break;
+                }
             }
-            if moves == 0 {
-                break;
+        } else {
+            let mut state = SweepState {
+                label: &mut label,
+                label_weight: &mut label_weight,
+                stamp: vec![0u32; n],
+                moves: 0,
+            };
+            let chunk = scan_chunk_size(n, self.parallelism);
+            let mut live_scratch: FnvHashMap<u32, f64> = FnvHashMap::default();
+            for _ in 0..self.rounds {
+                let moves_before = state.moves;
+                chunked_scan_commit(
+                    &mut state,
+                    n,
+                    chunk,
+                    self.parallelism,
+                    FnvHashMap::<u32, f64>::default,
+                    |scratch, s: &SweepState, i| {
+                        let v = order[i] as usize;
+                        let mut entries = Vec::new();
+                        score_labels(graph, s.label, v, scratch, &mut entries);
+                        (s.moves, entries)
+                    },
+                    |s, i, (snap, mut entries)| {
+                        let v = order[i] as usize;
+                        // Stale iff a neighbour was relabelled after the
+                        // snapshot was scored.
+                        if s.moves != snap
+                            && graph
+                                .neighbors(NodeId::new(v as u32))
+                                .any(|(nb, _)| s.stamp[nb.index()] > snap)
+                        {
+                            score_labels(graph, s.label, v, &mut live_scratch, &mut entries);
+                        }
+                        if commit_label_move(v, &entries, &dv, cap, s.label, s.label_weight) {
+                            s.moves += 1;
+                            s.stamp[v] = s.moves;
+                        }
+                    },
+                );
+                if state.moves == moves_before {
+                    break;
+                }
             }
         }
 
@@ -149,6 +258,10 @@ impl GlobalAllocator for LabelPropagation {
                 .expect("in-range part");
         }
         phi
+    }
+
+    fn allocate_with(&self, graph: &TxGraph, k: u16, parallelism: Parallelism) -> AccountShardMap {
+        self.with_parallelism(parallelism).allocate(graph, k)
     }
 }
 

@@ -17,11 +17,24 @@
 //! subject to a balance constraint on vertex weight (a proxy for workload
 //! balance) — exactly the objective mix the paper attributes to the
 //! Metis-based allocation baselines.
+//!
+//! # Parallelism
+//!
+//! The hot scans — the heavy-edge-matching candidate search, the coarse
+//! adjacency aggregation and the refinement gain vectors — fan out over
+//! the order-stable pool ([`mosaic_metrics::parallel`]) when
+//! [`MetisConfig::parallelism`] allows; every state mutation is replayed
+//! sequentially in input order with stale scores recomputed inline, so
+//! the partition is **bit-identical** to the sequential run at any
+//! worker count (proptested in `tests/parallel_equivalence.rs`).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mosaic_txgraph::TxGraph;
+use mosaic_metrics::parallel::{
+    chunked_scan_commit, map_indexed, map_indexed_scratch, scan_chunk_size, Parallelism,
+};
+use mosaic_txgraph::{NodeId, TxGraph};
 use mosaic_types::hash::FnvHashMap;
 use mosaic_types::{AccountShardMap, ShardId};
 
@@ -42,6 +55,11 @@ pub struct MetisConfig {
     pub refine_passes: usize,
     /// Seed for the (deterministic) matching order shuffle.
     pub seed: u64,
+    /// Worker-pool sizing for the candidate scans (matching, coarse
+    /// aggregation, refinement gains). The partition is bit-identical at
+    /// every level, so this is purely a throughput knob; the experiment
+    /// engine threads its `cell_parallelism` in per epoch.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MetisConfig {
@@ -52,6 +70,7 @@ impl Default for MetisConfig {
             balance_factor: 1.10,
             refine_passes: 8,
             seed: 0x6d65_7469, // "meti"
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -76,6 +95,12 @@ impl MetisPartitioner {
         self.config
     }
 
+    /// Returns the partitioner with its worker-pool sizing replaced.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
     /// Partitions `graph` into `k` parts, returning one part id per node
     /// (indexed by [`mosaic_txgraph::NodeId`]).
     ///
@@ -97,9 +122,10 @@ impl MetisPartitioner {
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let parallelism = self.config.parallelism;
 
         // --- Phase 1: coarsen -------------------------------------------
-        let base = WorkGraph::from_tx_graph(graph);
+        let base = WorkGraph::from_tx_graph(graph, parallelism);
         let stop_at =
             (self.config.coarsen_per_part * usize::from(k)).max(self.config.min_coarse_nodes);
         let mut levels: Vec<WorkGraph> = vec![base];
@@ -109,7 +135,7 @@ impl MetisPartitioner {
             if current.len() <= stop_at {
                 break;
             }
-            let (coarse, map) = coarsen_once(current, &mut rng);
+            let (coarse, map) = coarsen_once(current, &mut rng, parallelism);
             // Bail out if matching stopped making progress (e.g. stars).
             if coarse.len() as f64 > current.len() as f64 * 0.97 {
                 break;
@@ -129,6 +155,7 @@ impl MetisPartitioner {
             k,
             max_allowed,
             self.config.refine_passes,
+            parallelism,
         );
 
         // --- Phase 3: uncoarsen + refine ---------------------------------
@@ -142,7 +169,14 @@ impl MetisPartitioner {
             parts = fine_parts;
             let max_allowed = max_part_weight(fine.total_weight(), k, self.config.balance_factor);
             rebalance(fine, &mut parts, k, max_allowed);
-            refine(fine, &mut parts, k, max_allowed, self.config.refine_passes);
+            refine(
+                fine,
+                &mut parts,
+                k,
+                max_allowed,
+                self.config.refine_passes,
+                parallelism,
+            );
         }
 
         parts
@@ -163,6 +197,10 @@ impl GlobalAllocator for MetisPartitioner {
         }
         phi
     }
+
+    fn allocate_with(&self, graph: &TxGraph, k: u16, parallelism: Parallelism) -> AccountShardMap {
+        self.with_parallelism(parallelism).allocate(graph, k)
+    }
 }
 
 /// Internal adjacency-list graph used across coarsening levels.
@@ -174,21 +212,17 @@ struct WorkGraph {
 }
 
 impl WorkGraph {
-    fn from_tx_graph(graph: &TxGraph) -> Self {
+    fn from_tx_graph(graph: &TxGraph, parallelism: Parallelism) -> Self {
         let n = graph.node_count();
-        let mut vwgt = Vec::with_capacity(n);
-        let mut adj = Vec::with_capacity(n);
-        for node in graph.nodes() {
-            // Account for isolated/low-activity vertices: weight at least 1
-            // so balance constraints stay meaningful.
-            vwgt.push(graph.node_weight(node).max(1));
-            adj.push(
-                graph
-                    .neighbors(node)
-                    .map(|(nb, w)| (nb.index() as u32, w))
-                    .collect(),
-            );
-        }
+        // Account for isolated/low-activity vertices: weight at least 1
+        // so balance constraints stay meaningful.
+        let vwgt: Vec<u64> = graph.nodes().map(|v| graph.node_weight(v).max(1)).collect();
+        let adj: Vec<Vec<(u32, u64)>> = map_indexed(n, parallelism, |v| {
+            graph
+                .neighbors(NodeId::new(v as u32))
+                .map(|(nb, w)| (nb.index() as u32, w))
+                .collect()
+        });
         WorkGraph { vwgt, adj }
     }
 
@@ -206,11 +240,42 @@ fn max_part_weight(total: u64, k: u16, balance_factor: f64) -> u64 {
     (ideal * balance_factor).ceil() as u64 + 1
 }
 
+const UNMATCHED: u32 = u32::MAX;
+
+/// Heaviest currently-unmatched neighbour of `v`; ties to the lower id.
+/// The single candidate-scan comparator shared by the sequential walk
+/// and the parallel prescoring pass (identical tie-breaks by
+/// construction).
+fn best_unmatched_neighbor(graph: &WorkGraph, mate: &[u32], v: usize) -> Option<(u32, u64)> {
+    let mut best: Option<(u32, u64)> = None;
+    for &(nb, w) in &graph.adj[v] {
+        if mate[nb as usize] == UNMATCHED && nb as usize != v {
+            match best {
+                Some((bn, bw)) if w < bw || (w == bw && nb >= bn) => {}
+                _ => best = Some((nb, w)),
+            }
+        }
+    }
+    best
+}
+
 /// One heavy-edge-matching coarsening step. Returns the coarse graph and
 /// the fine→coarse node map.
-fn coarsen_once(graph: &WorkGraph, rng: &mut StdRng) -> (WorkGraph, Vec<u32>) {
+///
+/// The matching walk is sequential by nature (every committed pair
+/// removes two candidates), but the candidate scan per node is not: in
+/// parallel mode each chunk of the visit order is prescored against a
+/// snapshot of the matching, and the sequential commit walk reuses a
+/// prescored candidate whenever it is still unmatched. Because the
+/// unmatched set only shrinks, a still-unmatched snapshot argmax *is*
+/// the live argmax, and a consumed candidate falls back to an inline
+/// rescan — the matching is identical to the sequential one.
+fn coarsen_once(
+    graph: &WorkGraph,
+    rng: &mut StdRng,
+    parallelism: Parallelism,
+) -> (WorkGraph, Vec<u32>) {
     let n = graph.len();
-    const UNMATCHED: u32 = u32::MAX;
     let mut mate = vec![UNMATCHED; n];
 
     // Deterministic shuffled visit order.
@@ -220,34 +285,75 @@ fn coarsen_once(graph: &WorkGraph, rng: &mut StdRng) -> (WorkGraph, Vec<u32>) {
         order.swap(i, j);
     }
 
-    for &v in &order {
-        let v = v as usize;
-        if mate[v] != UNMATCHED {
-            continue;
+    if parallelism.workers(n) <= 1 {
+        // Sequential reference walk.
+        for &v in &order {
+            let v = v as usize;
+            if mate[v] != UNMATCHED {
+                continue;
+            }
+            let best = best_unmatched_neighbor(graph, &mate, v);
+            commit_match(&mut mate, v, best);
         }
-        // Heaviest unmatched neighbour; ties to the lower id.
-        let mut best: Option<(u32, u64)> = None;
-        for &(nb, w) in &graph.adj[v] {
-            if mate[nb as usize] == UNMATCHED && nb as usize != v {
-                match best {
-                    Some((bn, bw)) if w < bw || (w == bw && nb >= bn) => {}
-                    _ => best = Some((nb, w)),
+    } else {
+        chunked_scan_commit(
+            &mut mate,
+            n,
+            scan_chunk_size(n, parallelism),
+            parallelism,
+            || (),
+            |(), mate: &Vec<u32>, i| {
+                let v = order[i] as usize;
+                if mate[v] != UNMATCHED {
+                    return None;
                 }
-            }
-        }
-        match best {
-            Some((nb, _)) => {
-                mate[v] = nb;
-                mate[nb as usize] = v as u32;
-            }
-            None => mate[v] = v as u32, // singleton
-        }
+                best_unmatched_neighbor(graph, mate, v)
+            },
+            |mate, i, prescored| {
+                let v = order[i] as usize;
+                if mate[v] != UNMATCHED {
+                    return;
+                }
+                let best = match prescored {
+                    // Snapshot argmax still unmatched → it is the live
+                    // argmax (the unmatched set only shrinks).
+                    Some((nb, w)) if mate[nb as usize] == UNMATCHED => Some((nb, w)),
+                    // Candidate consumed earlier in the chunk: rescan.
+                    Some(_) => best_unmatched_neighbor(graph, mate, v),
+                    // No unmatched neighbour at snapshot time → none now.
+                    None => None,
+                };
+                commit_match(mate, v, best);
+            },
+        );
     }
 
+    finish_coarsen(graph, &order, &mate, parallelism)
+}
+
+/// Records `v`'s match decision (pair or singleton).
+fn commit_match(mate: &mut [u32], v: usize, best: Option<(u32, u64)>) {
+    match best {
+        Some((nb, _)) => {
+            mate[v] = nb;
+            mate[nb as usize] = v as u32;
+        }
+        None => mate[v] = v as u32, // singleton
+    }
+}
+
+/// Contracts a computed matching into the coarse graph.
+fn finish_coarsen(
+    graph: &WorkGraph,
+    order: &[u32],
+    mate: &[u32],
+    parallelism: Parallelism,
+) -> (WorkGraph, Vec<u32>) {
+    let n = graph.len();
     // Assign coarse ids in visit order (pair owner = first visited).
     let mut coarse_of = vec![UNMATCHED; n];
     let mut next = 0u32;
-    for &v in &order {
+    for &v in order {
         let v = v as usize;
         if coarse_of[v] != UNMATCHED {
             continue;
@@ -260,33 +366,39 @@ fn coarsen_once(graph: &WorkGraph, rng: &mut StdRng) -> (WorkGraph, Vec<u32>) {
         next += 1;
     }
 
-    // Build the coarse graph.
+    // Build the coarse graph. Every coarse node's merged adjacency is
+    // independent of the others (and sorted by neighbour id), so the
+    // aggregation fans out with one reusable histogram per worker.
     let cn = next as usize;
     let mut vwgt = vec![0u64; cn];
     for v in 0..n {
         vwgt[coarse_of[v] as usize] += graph.vwgt[v];
     }
-    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); cn];
-    let mut scratch: FnvHashMap<u32, u64> = FnvHashMap::default();
     // Iterate fine nodes grouped by coarse owner.
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); cn];
     for v in 0..n {
         members[coarse_of[v] as usize].push(v as u32);
     }
-    for c in 0..cn {
-        scratch.clear();
-        for &v in &members[c] {
-            for &(nb, w) in &graph.adj[v as usize] {
-                let cnb = coarse_of[nb as usize];
-                if cnb as usize != c {
-                    *scratch.entry(cnb).or_default() += w;
+    let coarse_of_ref = &coarse_of;
+    let adj: Vec<Vec<(u32, u64)>> = map_indexed_scratch(
+        cn,
+        parallelism,
+        FnvHashMap::<u32, u64>::default,
+        |scratch, c| {
+            scratch.clear();
+            for &v in &members[c] {
+                for &(nb, w) in &graph.adj[v as usize] {
+                    let cnb = coarse_of_ref[nb as usize];
+                    if cnb as usize != c {
+                        *scratch.entry(cnb).or_default() += w;
+                    }
                 }
             }
-        }
-        let mut edges: Vec<(u32, u64)> = scratch.iter().map(|(&c, &w)| (c, w)).collect();
-        edges.sort_unstable_by_key(|&(c, _)| c);
-        adj[c] = edges;
-    }
+            let mut edges: Vec<(u32, u64)> = scratch.iter().map(|(&c, &w)| (c, w)).collect();
+            edges.sort_unstable_by_key(|&(c, _)| c);
+            edges
+        },
+    );
 
     (WorkGraph { vwgt, adj }, coarse_of)
 }
@@ -418,60 +530,156 @@ fn rebalance(graph: &WorkGraph, parts: &mut [u16], k: u16, max_allowed: u64) {
     }
 }
 
+/// Refinement state threaded through the scan/commit walk: the live
+/// partition plus the move stamps that let a commit detect stale gain
+/// vectors (`stamp[v]` = index of the move that last relocated `v`).
+struct RefineState<'p> {
+    parts: &'p mut [u16],
+    part_weight: Vec<u64>,
+    stamp: Vec<u32>,
+    moves: u32,
+}
+
+/// Accumulates `v`'s connectivity-per-part vector into `conn`.
+fn fill_conn(graph: &WorkGraph, parts: &[u16], v: usize, conn: &mut [u64]) {
+    conn.iter_mut().for_each(|c| *c = 0);
+    for &(nb, w) in &graph.adj[v] {
+        conn[usize::from(parts[nb as usize])] += w;
+    }
+}
+
+/// The move decision shared verbatim by the sequential oracle and the
+/// parallel commit walk: pick the most-connected other part (ties to the
+/// lighter one) and move when the gain is positive, or zero-gain but
+/// balance-improving, under the balance bound. Returns `true` on a move.
+fn refine_commit_move(
+    graph: &WorkGraph,
+    v: usize,
+    conn: &[u64],
+    parts: &mut [u16],
+    part_weight: &mut [u64],
+    max_allowed: u64,
+) -> bool {
+    let cur = usize::from(parts[v]);
+    let kk = part_weight.len();
+    // Candidate: the part with max connectivity (≠ cur), ties to
+    // the lighter part.
+    let mut best_p = cur;
+    let mut best_conn = 0u64;
+    for p in 0..kk {
+        if p == cur {
+            continue;
+        }
+        if conn[p] > best_conn
+            || (conn[p] == best_conn && best_p != cur && part_weight[p] < part_weight[best_p])
+        {
+            best_p = p;
+            best_conn = conn[p];
+        }
+    }
+    if best_p == cur {
+        return false;
+    }
+    let gain = best_conn as i64 - conn[cur] as i64;
+    let fits = part_weight[best_p] + graph.vwgt[v] <= max_allowed;
+    let balance_improves = part_weight[best_p] + graph.vwgt[v] < part_weight[cur];
+    if fits && (gain > 0 || (gain == 0 && balance_improves)) {
+        part_weight[cur] -= graph.vwgt[v];
+        part_weight[best_p] += graph.vwgt[v];
+        parts[v] = best_p as u16;
+        true
+    } else {
+        false
+    }
+}
+
 /// FM-style greedy boundary refinement: repeatedly move nodes to the part
 /// they are most connected to, when the move has positive cut gain (or
 /// zero gain but improves balance) and respects the balance bound.
-fn refine(graph: &WorkGraph, parts: &mut [u16], k: u16, max_allowed: u64, passes: usize) {
+///
+/// In parallel mode each chunk prescores the gain vectors against a
+/// snapshot of the partition; the commit walk replays the moves
+/// sequentially with live part weights, rescoring a node inline iff one
+/// of its neighbours moved after the snapshot — bit-identical to the
+/// sequential pass at any worker count.
+fn refine(
+    graph: &WorkGraph,
+    parts: &mut [u16],
+    k: u16,
+    max_allowed: u64,
+    passes: usize,
+    parallelism: Parallelism,
+) {
     let n = graph.len();
     let kk = usize::from(k);
     let mut part_weight = vec![0u64; kk];
     for v in 0..n {
         part_weight[usize::from(parts[v])] += graph.vwgt[v];
     }
-    let mut conn = vec![0u64; kk];
 
-    for _ in 0..passes {
-        let mut moved = 0usize;
-        for v in 0..n {
-            if graph.adj[v].is_empty() {
-                continue;
-            }
-            let cur = usize::from(parts[v]);
-            conn.iter_mut().for_each(|c| *c = 0);
-            for &(nb, w) in &graph.adj[v] {
-                conn[usize::from(parts[nb as usize])] += w;
-            }
-            // Candidate: the part with max connectivity (≠ cur), ties to
-            // the lighter part.
-            let mut best_p = cur;
-            let mut best_conn = 0u64;
-            for p in 0..kk {
-                if p == cur {
+    if parallelism.workers(n) <= 1 {
+        // Sequential reference pass.
+        let mut conn = vec![0u64; kk];
+        for _ in 0..passes {
+            let mut moved = 0usize;
+            for v in 0..n {
+                if graph.adj[v].is_empty() {
                     continue;
                 }
-                if conn[p] > best_conn
-                    || (conn[p] == best_conn
-                        && best_p != cur
-                        && part_weight[p] < part_weight[best_p])
-                {
-                    best_p = p;
-                    best_conn = conn[p];
+                fill_conn(graph, parts, v, &mut conn);
+                if refine_commit_move(graph, v, &conn, parts, &mut part_weight, max_allowed) {
+                    moved += 1;
                 }
             }
-            if best_p == cur {
-                continue;
-            }
-            let gain = best_conn as i64 - conn[cur] as i64;
-            let fits = part_weight[best_p] + graph.vwgt[v] <= max_allowed;
-            let balance_improves = part_weight[best_p] + graph.vwgt[v] < part_weight[cur];
-            if fits && (gain > 0 || (gain == 0 && balance_improves)) {
-                part_weight[cur] -= graph.vwgt[v];
-                part_weight[best_p] += graph.vwgt[v];
-                parts[v] = best_p as u16;
-                moved += 1;
+            if moved == 0 {
+                break;
             }
         }
-        if moved == 0 {
+        return;
+    }
+
+    let mut state = RefineState {
+        parts,
+        part_weight,
+        stamp: vec![0u32; n],
+        moves: 0,
+    };
+    let chunk = scan_chunk_size(n, parallelism);
+    for _ in 0..passes {
+        let moves_before = state.moves;
+        chunked_scan_commit(
+            &mut state,
+            n,
+            chunk,
+            parallelism,
+            || vec![0u64; kk],
+            |conn: &mut Vec<u64>, s: &RefineState, v| {
+                if graph.adj[v].is_empty() {
+                    return None;
+                }
+                fill_conn(graph, s.parts, v, conn);
+                Some((s.moves, conn.clone()))
+            },
+            |s, v, scored| {
+                let Some((snap, mut conn)) = scored else {
+                    return;
+                };
+                // Stale iff a neighbour moved after the snapshot was
+                // scored (a move bumps `moves` and stamps the mover).
+                if s.moves != snap
+                    && graph.adj[v]
+                        .iter()
+                        .any(|&(nb, _)| s.stamp[nb as usize] > snap)
+                {
+                    fill_conn(graph, s.parts, v, &mut conn);
+                }
+                if refine_commit_move(graph, v, &conn, s.parts, &mut s.part_weight, max_allowed) {
+                    s.moves += 1;
+                    s.stamp[v] = s.moves;
+                }
+            },
+        );
+        if state.moves == moves_before {
             break;
         }
     }

@@ -1,5 +1,6 @@
 //! The interface of a miner-driven global allocation algorithm.
 
+use mosaic_metrics::parallel::Parallelism;
 use mosaic_txgraph::TxGraph;
 use mosaic_types::AccountShardMap;
 
@@ -24,6 +25,21 @@ pub trait GlobalAllocator {
 
     /// Computes an allocation of every account in `graph` over `k` shards.
     fn allocate(&self, graph: &TxGraph, k: u16) -> AccountShardMap;
+
+    /// [`GlobalAllocator::allocate`] with an explicit worker-pool sizing
+    /// for the allocator's internal scans.
+    ///
+    /// Implementations must return a result **identical** to
+    /// [`GlobalAllocator::allocate`] at every parallelism level — the
+    /// experiment engine threads its per-cell knob through here and
+    /// promises byte-identical CSVs, and the parallel-equivalence
+    /// proptests enforce it. The default ignores the knob (correct for
+    /// allocators with no internal scan worth parallelising, e.g. hash
+    /// allocation).
+    fn allocate_with(&self, graph: &TxGraph, k: u16, parallelism: Parallelism) -> AccountShardMap {
+        let _ = parallelism;
+        self.allocate(graph, k)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,135 @@
+//! Parallel allocators must be **bit-identical** to their sequential
+//! reference oracles.
+//!
+//! The multilevel partitioner and label propagation fan their candidate
+//! scans over the order-stable pool (`mosaic_metrics::parallel`) while
+//! committing every move sequentially in input order; these proptests
+//! pin the contract the experiment engine's byte-identical-CSV promise
+//! rests on: over arbitrary graphs, shard counts and worker counts, the
+//! parallel partition equals the sequential one exactly.
+
+use mosaic_metrics::parallel::Parallelism;
+use mosaic_partition::{GlobalAllocator, LabelPropagation, MetisConfig, MetisPartitioner};
+use mosaic_txgraph::{GraphBuilder, TxGraph};
+use mosaic_types::AccountId;
+use proptest::prelude::*;
+
+fn acct(i: u64) -> AccountId {
+    AccountId::new(i)
+}
+
+fn graph_from_edges(edges: &[(u64, u64, u64)]) -> TxGraph {
+    let mut b = GraphBuilder::new();
+    for &(x, y, w) in edges {
+        b.add_edge(acct(x), acct(y), w);
+    }
+    b.build()
+}
+
+/// Worker counts worth exercising: odd, even, and more workers than a
+/// single-core CI box has (the pool spawns them regardless).
+const WORKER_LEVELS: [usize; 3] = [2, 3, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn metis_parallel_equals_sequential(
+        edges in proptest::collection::vec((0u64..80, 0u64..80, 1u64..6), 1..300),
+        k in 2u16..7,
+    ) {
+        let g = graph_from_edges(&edges);
+        let sequential = MetisPartitioner::default().partition(&g, k);
+        for workers in WORKER_LEVELS {
+            let parallel = MetisPartitioner::default()
+                .with_parallelism(Parallelism::Threads(workers))
+                .partition(&g, k);
+            prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn labelprop_parallel_equals_sequential(
+        edges in proptest::collection::vec((0u64..80, 0u64..80, 1u64..6), 1..300),
+        k in 2u16..7,
+    ) {
+        let g = graph_from_edges(&edges);
+        let sequential = LabelPropagation::default().partition(&g, k);
+        for workers in WORKER_LEVELS {
+            let parallel = LabelPropagation::default()
+                .with_parallelism(Parallelism::Threads(workers))
+                .partition(&g, k);
+            prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn metis_allocate_with_equals_allocate(
+        edges in proptest::collection::vec((0u64..50, 0u64..50, 1u64..4), 1..150),
+        k in 2u16..5,
+    ) {
+        let g = graph_from_edges(&edges);
+        let p = MetisPartitioner::default();
+        let sequential = p.allocate(&g, k);
+        let parallel = p.allocate_with(&g, k, Parallelism::Threads(4));
+        for node in g.nodes() {
+            let a = g.account_of(node);
+            prop_assert_eq!(sequential.shard_of(a), parallel.shard_of(a));
+        }
+    }
+}
+
+/// A deliberately community-structured graph large enough that the
+/// coarsening recursion, chunked matching and multi-pass refinement all
+/// engage (proptest graphs are usually too small to coarsen).
+#[test]
+fn metis_parallel_equals_sequential_on_large_community_graph() {
+    let mut b = GraphBuilder::new();
+    let communities = 24u64;
+    let size = 40u64;
+    for c in 0..communities {
+        let base = c * size;
+        for i in 0..size {
+            // Ring + chords inside the community, one bridge outward.
+            b.add_edge(acct(base + i), acct(base + (i + 1) % size), 8);
+            b.add_edge(acct(base + i), acct(base + (i * 7 + 3) % size), 3);
+        }
+        b.add_edge(acct(base), acct((base + size) % (communities * size)), 1);
+    }
+    let g = b.build();
+    let sequential = MetisPartitioner::new(MetisConfig {
+        min_coarse_nodes: 64,
+        ..MetisConfig::default()
+    })
+    .partition(&g, 8);
+    for workers in [2, 4, 16] {
+        let parallel = MetisPartitioner::new(MetisConfig {
+            min_coarse_nodes: 64,
+            parallelism: Parallelism::Threads(workers),
+            ..MetisConfig::default()
+        })
+        .partition(&g, 8);
+        assert_eq!(parallel, sequential, "workers = {workers}");
+    }
+}
+
+#[test]
+fn labelprop_parallel_equals_sequential_on_large_community_graph() {
+    let mut b = GraphBuilder::new();
+    for c in 0..30u64 {
+        let base = c * 25;
+        for i in 0..25 {
+            b.add_edge(acct(base + i), acct(base + (i + 1) % 25), 5);
+            b.add_edge(acct(base + i), acct(base + (i * 3 + 1) % 25), 2);
+        }
+        b.add_edge(acct(base), acct((base + 25) % 750), 1);
+    }
+    let g = b.build();
+    let sequential = LabelPropagation::default().partition(&g, 6);
+    for workers in [2, 4, 16] {
+        let parallel = LabelPropagation::default()
+            .with_parallelism(Parallelism::Threads(workers))
+            .partition(&g, 6);
+        assert_eq!(parallel, sequential, "workers = {workers}");
+    }
+}

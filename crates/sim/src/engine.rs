@@ -235,6 +235,15 @@ pub fn allocation_diff(old: &AccountShardMap, new: &AccountShardMap) -> usize {
 /// (the paper's "global optimization" row of Table VI). The graph
 /// materialisation happens inside the timed region, exactly as a miner
 /// recomputing from its replicated history would pay for it.
+///
+/// The per-epoch recomputation runs through
+/// [`GlobalAllocator::allocate_with`] with the cell's parallelism knob
+/// ([`EpochCtx::parallelism`]), so Metis- and TxAllo-style allocators
+/// fan their scoring scans over the order-stable pool; the result is
+/// bit-identical at every worker count, which keeps experiment CSVs
+/// byte-stable (enforced by the determinism CI job). The initial
+/// (training-prefix) allocation stays sequential — it runs once per
+/// cell and grids already parallelise across cells.
 impl<A: GlobalAllocator> EpochStrategy for A {
     fn name(&self) -> &'static str {
         GlobalAllocator::name(self)
@@ -259,9 +268,10 @@ impl<A: GlobalAllocator> EpochStrategy for A {
         ctx.history.accrete();
         let history = &mut *ctx.history;
         let k = ctx.params.shards();
+        let parallelism = ctx.parallelism;
         let (phi, elapsed) = time_it(|| {
             let graph = history.graph();
-            self.allocate(graph, k)
+            self.allocate_with(graph, k, parallelism)
         });
         let moved = allocation_diff(ledger.phi(), &phi);
         EpochDecision {
@@ -344,7 +354,10 @@ impl EpochStrategy for AdaptiveTxAllo {
 
     fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
         let mut phi = ledger.phi().clone();
-        let (moved, elapsed) = time_it(|| self.update.update(&mut phi, ctx.recent_window));
+        let (moved, elapsed) = time_it(|| {
+            self.update
+                .update_with(&mut phi, ctx.recent_window, ctx.parallelism)
+        });
         EpochDecision {
             new_phi: Some(phi),
             migrations: MigrationCount::Moves(moved),

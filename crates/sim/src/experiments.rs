@@ -417,8 +417,9 @@ pub fn fig1(cells: &[GridCell], scale: &Scale) -> TextTable {
 
 /// **Ablation (beyond the paper)** — Pilot versus policies that use only
 /// one of its two signals (interactions / workload) or none (sticky),
-/// at `k = 16`, `η = 2`. Each policy runs as a [`MosaicStrategy`]
-/// through the same unified pipeline as the main grid.
+/// at `k = 16`, `η = 2`. Each policy runs as a
+/// [`MosaicStrategy`](crate::engine::MosaicStrategy) through the same
+/// unified pipeline as the main grid.
 pub fn policy_ablation(scale: &Scale) -> TextTable {
     use crate::engine::{EpochStrategy, MosaicStrategy};
     use mosaic_core::policy::{

@@ -9,4 +9,7 @@
 //! Existing `mosaic_sim::parallel::{ordered_map, Parallelism}` paths
 //! keep working through this re-export.
 
-pub use mosaic_metrics::parallel::{for_each_indexed_mut, ordered_map, Parallelism};
+pub use mosaic_metrics::parallel::{
+    chunked_scan_commit, for_each_indexed_mut, map_indexed, map_indexed_scratch, ordered_map,
+    scan_chunk_size, Parallelism,
+};

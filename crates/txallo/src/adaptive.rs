@@ -1,10 +1,12 @@
 //! A-TxAllo: the fast adaptive allocation update.
 
-use mosaic_txgraph::{GraphBuilder, NodeId};
+use mosaic_metrics::parallel::Parallelism;
+use mosaic_txgraph::GraphBuilder;
 use mosaic_types::{AccountShardMap, Transaction};
 
 use crate::config::TxAlloConfig;
 use crate::objective::AlloObjective;
+use crate::sweep;
 
 /// The adaptive TxAllo variant.
 ///
@@ -40,6 +42,18 @@ impl ATxAllo {
     /// resolved through `phi`'s default rule, then optimised like any
     /// other active account.
     pub fn update(&self, phi: &mut AccountShardMap, window: &[Transaction]) -> usize {
+        self.update_with(phi, window, self.config.parallelism)
+    }
+
+    /// [`ATxAllo::update`] with an explicit worker-pool sizing for the
+    /// per-account scoring scan, overriding the config's. The resulting
+    /// allocation is bit-identical at every parallelism level.
+    pub fn update_with(
+        &self,
+        phi: &mut AccountShardMap,
+        window: &[Transaction],
+        parallelism: Parallelism,
+    ) -> usize {
         let k = phi.shards();
         let kk = usize::from(k);
         if window.is_empty() || k <= 1 {
@@ -83,37 +97,16 @@ impl ATxAllo {
                 .then(a.cmp(&b))
         });
 
-        let mut conn = vec![0.0f64; kk];
-        for _ in 0..self.config.rounds {
-            let mut moves = 0usize;
-            for &v in &order {
-                let v = v as usize;
-                let cur = usize::from(parts[v]);
-                conn.iter_mut().for_each(|c| *c = 0.0);
-                for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
-                    conn[usize::from(parts[nb.index()])] += w as f64;
-                }
-                let mut best: Option<(usize, f64)> = None;
-                for p in 0..kk {
-                    if p == cur {
-                        continue;
-                    }
-                    let delta = objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
-                    if delta > 1e-9 && best.is_none_or(|(_, bd)| delta > bd) {
-                        best = Some((p, delta));
-                    }
-                }
-                if let Some((p, _)) = best {
-                    load[cur] -= dv[v];
-                    load[p] += dv[v];
-                    parts[v] = p as u16;
-                    moves += 1;
-                }
-            }
-            if moves == 0 {
-                break;
-            }
-        }
+        sweep::objective_refine(
+            &graph,
+            &order,
+            &dv,
+            &objective,
+            &mut parts,
+            &mut load,
+            self.config.rounds,
+            parallelism,
+        );
 
         // Write back only actual changes.
         let mut changed = 0usize;

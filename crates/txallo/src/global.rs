@@ -1,12 +1,14 @@
 //! G-TxAllo: the complete (global) deterministic allocation algorithm.
 
+use mosaic_metrics::parallel::Parallelism;
 use mosaic_partition::GlobalAllocator;
-use mosaic_txgraph::{NodeId, TxGraph};
+use mosaic_txgraph::TxGraph;
 use mosaic_types::hash::FnvHashMap;
 use mosaic_types::{AccountShardMap, ShardId};
 
 use crate::config::TxAlloConfig;
 use crate::objective::AlloObjective;
+use crate::sweep;
 
 /// The global TxAllo algorithm.
 ///
@@ -81,7 +83,14 @@ impl GTxAllo {
         });
 
         // --- Phase 1: community detection ---------------------------------
-        let communities = detect_communities(graph, &dv, &order, capacity, self.config.rounds);
+        let communities = sweep::detect_communities(
+            graph,
+            &dv,
+            &order,
+            capacity,
+            self.config.rounds,
+            self.config.parallelism,
+        );
 
         // --- Phase 2: LPT community-to-shard mapping -----------------------
         let mut parts = map_communities_lpt(&communities, &dv, k);
@@ -91,91 +100,19 @@ impl GTxAllo {
         for v in 0..n {
             load[usize::from(parts[v])] += dv[v];
         }
-        let mut conn = vec![0.0f64; kk];
-        for _ in 0..self.config.rounds {
-            let mut moves = 0usize;
-            for &v in &order {
-                let v = v as usize;
-                let cur = usize::from(parts[v]);
-                conn.iter_mut().for_each(|c| *c = 0.0);
-                for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
-                    conn[usize::from(parts[nb.index()])] += w as f64;
-                }
-                let mut best: Option<(usize, f64)> = None;
-                for p in 0..kk {
-                    if p == cur {
-                        continue;
-                    }
-                    let delta = objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
-                    if delta > 1e-9 && best.is_none_or(|(_, bd)| delta > bd) {
-                        best = Some((p, delta));
-                    }
-                }
-                if let Some((p, _)) = best {
-                    load[cur] -= dv[v];
-                    load[p] += dv[v];
-                    parts[v] = p as u16;
-                    moves += 1;
-                }
-            }
-            if moves == 0 {
-                break;
-            }
-        }
+        sweep::objective_refine(
+            graph,
+            &order,
+            &dv,
+            &objective,
+            &mut parts,
+            &mut load,
+            self.config.rounds,
+            self.config.parallelism,
+        );
 
         parts
     }
-}
-
-/// Greedy capped label propagation. Returns a community id per node.
-fn detect_communities(
-    graph: &TxGraph,
-    dv: &[f64],
-    order: &[u32],
-    capacity: f64,
-    rounds: usize,
-) -> Vec<u32> {
-    let n = graph.node_count();
-    let mut comm: Vec<u32> = (0..n as u32).collect();
-    let mut comm_weight: Vec<f64> = dv.to_vec();
-    let mut conn: FnvHashMap<u32, f64> = FnvHashMap::default();
-
-    for _ in 0..rounds.max(1) {
-        let mut moves = 0usize;
-        for &v in order {
-            let v = v as usize;
-            let own = comm[v];
-            conn.clear();
-            for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
-                *conn.entry(comm[nb.index()]).or_default() += w as f64;
-            }
-            let own_conn = conn.get(&own).copied().unwrap_or(0.0);
-            // Best target: max connectivity, fits under the cap; ties to
-            // the smaller community id for determinism.
-            let mut best: Option<(u32, f64)> = None;
-            for (&c, &cw) in &conn {
-                if c == own || comm_weight[c as usize] + dv[v] > capacity {
-                    continue;
-                }
-                match best {
-                    Some((bc, bw)) if cw < bw || (cw == bw && c >= bc) => {}
-                    _ => best = Some((c, cw)),
-                }
-            }
-            if let Some((c, cw)) = best {
-                if cw > own_conn + 1e-9 {
-                    comm_weight[own as usize] -= dv[v];
-                    comm_weight[c as usize] += dv[v];
-                    comm[v] = c;
-                    moves += 1;
-                }
-            }
-        }
-        if moves == 0 {
-            break;
-        }
-    }
-    comm
 }
 
 /// LPT bin packing of communities onto `k` shards: heaviest community to
@@ -225,6 +162,10 @@ impl GlobalAllocator for GTxAllo {
                 .expect("partition produced in-range shard");
         }
         phi
+    }
+
+    fn allocate_with(&self, graph: &TxGraph, k: u16, parallelism: Parallelism) -> AccountShardMap {
+        GTxAllo::new(self.config.with_parallelism(parallelism)).allocate(graph, k)
     }
 }
 

@@ -52,6 +52,7 @@ pub mod adaptive;
 pub mod config;
 pub mod global;
 pub mod objective;
+mod sweep;
 
 pub use adaptive::ATxAllo;
 pub use config::TxAlloConfig;

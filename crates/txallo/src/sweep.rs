@@ -1,0 +1,296 @@
+//! The shared greedy-sweep kernels of both TxAllo variants, with their
+//! deterministic-parallel scoring paths.
+//!
+//! G-TxAllo's community detection and account-level refinement and
+//! A-TxAllo's window update are all the same shape: visit accounts in a
+//! fixed order, score each account's connectivity to its candidate
+//! targets, commit the best admissible move, repeat until a fixed point.
+//! The *scoring* scan (a weighted histogram over the account's
+//! neighbours) is embarrassingly parallel; the *commit* must stay
+//! sequential because every move shifts the loads later decisions read.
+//!
+//! Both kernels here therefore run the scan over
+//! [`mosaic_metrics::parallel::chunked_scan_commit`]: chunks of the
+//! visit order are prescored against a snapshot, the commit walk replays
+//! moves in input order with live loads, and a prescored histogram is
+//! recomputed inline iff one of the account's neighbours moved after the
+//! snapshot. The result is **bit-identical** to the sequential sweep at
+//! every worker count (the sequential path below is the oracle the
+//! parallel-equivalence proptests compare against).
+
+use mosaic_metrics::parallel::{chunked_scan_commit, scan_chunk_size, Parallelism};
+use mosaic_txgraph::{NodeId, TxGraph};
+use mosaic_types::hash::FnvHashMap;
+
+use crate::objective::AlloObjective;
+
+/// Accumulates `v`'s connectivity per shard into `conn`.
+fn fill_shard_conn(graph: &TxGraph, parts: &[u16], v: usize, conn: &mut [f64]) {
+    conn.iter_mut().for_each(|c| *c = 0.0);
+    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+        conn[usize::from(parts[nb.index()])] += w as f64;
+    }
+}
+
+/// The objective-walk move decision shared verbatim by the sequential
+/// oracle and the parallel commit walk: move `v` to the shard with the
+/// best positive [`AlloObjective::move_delta`]. Returns `true` on a move.
+fn commit_objective_move(
+    v: usize,
+    conn: &[f64],
+    objective: &AlloObjective,
+    dv: &[f64],
+    parts: &mut [u16],
+    load: &mut [f64],
+) -> bool {
+    let cur = usize::from(parts[v]);
+    let kk = load.len();
+    let mut best: Option<(usize, f64)> = None;
+    for p in 0..kk {
+        if p == cur {
+            continue;
+        }
+        let delta = objective.move_delta(conn[cur], conn[p], load[cur], load[p], dv[v]);
+        if delta > 1e-9 && best.is_none_or(|(_, bd)| delta > bd) {
+            best = Some((p, delta));
+        }
+    }
+    if let Some((p, _)) = best {
+        load[cur] -= dv[v];
+        load[p] += dv[v];
+        parts[v] = p as u16;
+        true
+    } else {
+        false
+    }
+}
+
+/// Live sweep state for the parallel paths: the assignment being
+/// mutated plus move stamps (`stamp[v]` = index of the move that last
+/// relocated `v`) so a commit can detect stale prescored histograms.
+struct SweepState<'a, W> {
+    assign: &'a mut [W],
+    weight: &'a mut [f64],
+    stamp: Vec<u32>,
+    moves: u32,
+}
+
+/// Greedy account-level refinement against the throughput objective —
+/// the inner loop of G-TxAllo phase 3 and of the whole A-TxAllo update.
+///
+/// Visits `order` repeatedly (at most `rounds` sweeps, stopping at a
+/// fixed point), moving each account to the shard with the best positive
+/// objective delta. `parts` and `load` are updated in place.
+// The argument list mirrors the sweep's working set one-to-one; a
+// bundling struct would only rename the same eight things.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn objective_refine(
+    graph: &TxGraph,
+    order: &[u32],
+    dv: &[f64],
+    objective: &AlloObjective,
+    parts: &mut [u16],
+    load: &mut [f64],
+    rounds: usize,
+    parallelism: Parallelism,
+) {
+    let n = order.len();
+    let kk = load.len();
+
+    if parallelism.workers(n) <= 1 {
+        // Sequential reference sweep (one conn buffer reused throughout).
+        let mut conn = vec![0.0f64; kk];
+        for _ in 0..rounds {
+            let mut moves = 0usize;
+            for &v in order {
+                let v = v as usize;
+                fill_shard_conn(graph, parts, v, &mut conn);
+                if commit_objective_move(v, &conn, objective, dv, parts, load) {
+                    moves += 1;
+                }
+            }
+            if moves == 0 {
+                break;
+            }
+        }
+        return;
+    }
+
+    let mut state = SweepState {
+        assign: parts,
+        weight: load,
+        stamp: vec![0u32; graph.node_count()],
+        moves: 0,
+    };
+    let chunk = scan_chunk_size(n, parallelism);
+    for _ in 0..rounds {
+        let moves_before = state.moves;
+        chunked_scan_commit(
+            &mut state,
+            n,
+            chunk,
+            parallelism,
+            || vec![0.0f64; kk],
+            |conn: &mut Vec<f64>, s: &SweepState<u16>, i| {
+                let v = order[i] as usize;
+                fill_shard_conn(graph, s.assign, v, conn);
+                (s.moves, conn.clone())
+            },
+            |s, i, (snap, mut conn)| {
+                let v = order[i] as usize;
+                // Stale iff a neighbour moved after the snapshot.
+                if s.moves != snap
+                    && graph
+                        .neighbors(NodeId::new(v as u32))
+                        .any(|(nb, _)| s.stamp[nb.index()] > snap)
+                {
+                    fill_shard_conn(graph, s.assign, v, &mut conn);
+                }
+                if commit_objective_move(v, &conn, objective, dv, s.assign, s.weight) {
+                    s.moves += 1;
+                    s.stamp[v] = s.moves;
+                }
+            },
+        );
+        if state.moves == moves_before {
+            break;
+        }
+    }
+}
+
+/// Scores `v`'s connectivity per neighbouring community into `entries`,
+/// reusing the caller's histogram scratch (one per worker).
+fn score_communities(
+    graph: &TxGraph,
+    comm: &[u32],
+    v: usize,
+    scratch: &mut FnvHashMap<u32, f64>,
+    entries: &mut Vec<(u32, f64)>,
+) {
+    scratch.clear();
+    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+        *scratch.entry(comm[nb.index()]).or_default() += w as f64;
+    }
+    entries.clear();
+    entries.extend(scratch.iter().map(|(&c, &w)| (c, w)));
+}
+
+/// The community-join decision shared verbatim by both paths: adopt the
+/// most-connected other community that fits under the cap (ties to the
+/// lower community id), when better-connected than the current one
+/// beyond the float tolerance. Order-independent over `entries` (total
+/// order comparator), so hashmap iteration order never leaks into the
+/// result. Returns `true` on a move.
+fn commit_community_move(
+    v: usize,
+    entries: &[(u32, f64)],
+    dv: &[f64],
+    capacity: f64,
+    comm: &mut [u32],
+    comm_weight: &mut [f64],
+) -> bool {
+    let own = comm[v];
+    let mut own_conn = 0.0f64;
+    let mut best: Option<(u32, f64)> = None;
+    for &(c, cw) in entries {
+        if c == own {
+            own_conn = cw;
+            continue;
+        }
+        if comm_weight[c as usize] + dv[v] > capacity {
+            continue;
+        }
+        match best {
+            Some((bc, bw)) if cw < bw || (cw == bw && c >= bc) => {}
+            _ => best = Some((c, cw)),
+        }
+    }
+    if let Some((c, cw)) = best {
+        if cw > own_conn + 1e-9 {
+            comm_weight[own as usize] -= dv[v];
+            comm_weight[c as usize] += dv[v];
+            comm[v] = c;
+            return true;
+        }
+    }
+    false
+}
+
+/// Greedy capped label propagation (G-TxAllo phase 1). Returns a
+/// community id per node.
+pub(crate) fn detect_communities(
+    graph: &TxGraph,
+    dv: &[f64],
+    order: &[u32],
+    capacity: f64,
+    rounds: usize,
+    parallelism: Parallelism,
+) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut comm: Vec<u32> = (0..n as u32).collect();
+    let mut comm_weight: Vec<f64> = dv.to_vec();
+
+    if parallelism.workers(order.len()) <= 1 {
+        // Sequential reference sweep: one histogram + one entry buffer
+        // reused across nodes and rounds.
+        let mut scratch: FnvHashMap<u32, f64> = FnvHashMap::default();
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        for _ in 0..rounds.max(1) {
+            let mut moves = 0usize;
+            for &v in order {
+                let v = v as usize;
+                score_communities(graph, &comm, v, &mut scratch, &mut entries);
+                if commit_community_move(v, &entries, dv, capacity, &mut comm, &mut comm_weight) {
+                    moves += 1;
+                }
+            }
+            if moves == 0 {
+                break;
+            }
+        }
+        return comm;
+    }
+
+    let mut state = SweepState {
+        assign: &mut comm,
+        weight: &mut comm_weight,
+        stamp: vec![0u32; n],
+        moves: 0,
+    };
+    let chunk = scan_chunk_size(order.len(), parallelism);
+    let mut live_scratch: FnvHashMap<u32, f64> = FnvHashMap::default();
+    for _ in 0..rounds.max(1) {
+        let moves_before = state.moves;
+        chunked_scan_commit(
+            &mut state,
+            order.len(),
+            chunk,
+            parallelism,
+            FnvHashMap::<u32, f64>::default,
+            |scratch, s: &SweepState<u32>, i| {
+                let v = order[i] as usize;
+                let mut entries = Vec::new();
+                score_communities(graph, s.assign, v, scratch, &mut entries);
+                (s.moves, entries)
+            },
+            |s, i, (snap, mut entries)| {
+                let v = order[i] as usize;
+                if s.moves != snap
+                    && graph
+                        .neighbors(NodeId::new(v as u32))
+                        .any(|(nb, _)| s.stamp[nb.index()] > snap)
+                {
+                    score_communities(graph, s.assign, v, &mut live_scratch, &mut entries);
+                }
+                if commit_community_move(v, &entries, dv, capacity, s.assign, s.weight) {
+                    s.moves += 1;
+                    s.stamp[v] = s.moves;
+                }
+            },
+        );
+        if state.moves == moves_before {
+            break;
+        }
+    }
+    comm
+}

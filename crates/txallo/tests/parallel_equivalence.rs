@@ -1,0 +1,109 @@
+//! Parallel TxAllo must be **bit-identical** to the sequential oracle.
+//!
+//! Both TxAllo variants score candidate moves on the order-stable pool
+//! and commit them sequentially in input order; these proptests pin the
+//! contract over arbitrary interaction graphs, shard counts and worker
+//! counts — the same guarantee the experiment engine's determinism CI
+//! job enforces end-to-end on the CSV bytes.
+
+use mosaic_metrics::parallel::Parallelism;
+use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
+use mosaic_txgraph::GraphBuilder;
+use mosaic_types::{AccountId, AccountShardMap, BlockHeight, Transaction, TxId};
+use proptest::prelude::*;
+
+fn acct(i: u64) -> AccountId {
+    AccountId::new(i)
+}
+
+const WORKER_LEVELS: [usize; 3] = [2, 3, 8];
+
+/// ϕ as a comparable, deterministic dump.
+fn phi_dump(phi: &AccountShardMap) -> Vec<(u64, u16)> {
+    let mut out: Vec<(u64, u16)> = phi.iter().map(|(a, s)| (a.as_u64(), s.as_u16())).collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gtxallo_parallel_equals_sequential(
+        edges in proptest::collection::vec((0u64..80, 0u64..80, 1u64..6), 1..300),
+        k in 2u16..7,
+    ) {
+        let mut b = GraphBuilder::new();
+        for (x, y, w) in edges {
+            b.add_edge(acct(x), acct(y), w);
+        }
+        let g = b.build();
+        let sequential = GTxAllo::default().partition(&g, k);
+        for workers in WORKER_LEVELS {
+            let config = TxAlloConfig::default()
+                .with_parallelism(Parallelism::Threads(workers));
+            let parallel = GTxAllo::new(config).partition(&g, k);
+            prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn atxallo_parallel_equals_sequential(
+        pairs in proptest::collection::vec((0u64..40, 0u64..40), 1..250),
+        k in 2u16..7,
+    ) {
+        let window: Vec<Transaction> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(from, to))| {
+                Transaction::new(
+                    TxId::new(i as u64),
+                    acct(from),
+                    acct(to),
+                    BlockHeight::new(i as u64 / 8),
+                )
+            })
+            .collect();
+        let sequential = {
+            let mut phi = AccountShardMap::new(k);
+            ATxAllo::default().update(&mut phi, &window);
+            phi_dump(&phi)
+        };
+        for workers in WORKER_LEVELS {
+            let mut phi = AccountShardMap::new(k);
+            let moved = ATxAllo::default().update_with(
+                &mut phi,
+                &window,
+                Parallelism::Threads(workers),
+            );
+            prop_assert_eq!(phi_dump(&phi), sequential.clone(), "workers = {}", workers);
+            // The move count is part of the reported metrics: must match
+            // the sequential count too.
+            let mut seq_phi = AccountShardMap::new(k);
+            let seq_moved = ATxAllo::default().update(&mut seq_phi, &window);
+            prop_assert_eq!(moved, seq_moved);
+        }
+    }
+}
+
+/// A community-structured graph large enough that multiple refinement
+/// rounds and many chunks engage.
+#[test]
+fn gtxallo_parallel_equals_sequential_on_large_community_graph() {
+    let mut b = GraphBuilder::new();
+    for c in 0..20u64 {
+        let base = c * 50;
+        for i in 0..50 {
+            b.add_edge(acct(base + i), acct(base + (i + 1) % 50), 6);
+            b.add_edge(acct(base + i), acct(base + (i * 11 + 2) % 50), 2);
+        }
+        b.add_edge(acct(base), acct((base + 50) % 1000), 1);
+    }
+    let g = b.build();
+    let sequential = GTxAllo::default().partition(&g, 8);
+    for workers in [2, 4, 16] {
+        let config = TxAlloConfig::default().with_parallelism(Parallelism::Threads(workers));
+        let parallel = GTxAllo::new(config).partition(&g, 8);
+        assert_eq!(parallel, sequential, "workers = {workers}");
+    }
+}
