@@ -1,14 +1,22 @@
-//! Prints descriptive statistics of the synthetic workload at the
-//! selected scale — the analogue of the paper's dataset description
-//! (§V-A) used to validate the Ethereum-likeness of the substitute.
+//! Prints descriptive statistics of the scenario's workload — the
+//! analogue of the paper's dataset description (§V-A) used to validate
+//! the Ethereum-likeness of the synthetic substitute.
 
-use mosaic_bench::scale_from_env;
+use mosaic_bench::scenario_from_args;
 use mosaic_metrics::TextTable;
+use mosaic_sim::Scenario;
 use mosaic_workload::{generate, TraceStats};
 
 fn main() {
-    let scale = scale_from_env("Dataset statistics (synthetic Ethereum analogue)");
-    let workload = generate(&scale.workload);
+    let scenario = scenario_from_args(
+        "Dataset statistics (synthetic Ethereum analogue)",
+        Scenario::full_protocol,
+    );
+    let Some(config) = scenario.workload() else {
+        eprintln!("dataset_stats needs a generated trace source (CSV traces carry no generator description)");
+        std::process::exit(2);
+    };
+    let workload = generate(config);
     let stats = TraceStats::compute(workload.trace());
 
     let mut t = TextTable::new(["Statistic", "Value"]);

@@ -1,11 +1,14 @@
 //! Regenerates Figure 1: the six-axis radar comparison (normalised
 //! [1, 5] series for TxAllo vs Mosaic vs hash-based).
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::experiments;
+use mosaic_bench::scenario_from_args;
+use mosaic_sim::{experiments, Scenario};
 
 fn main() {
-    let scale = scale_from_env("Figure 1: efficiency/effectiveness radar");
-    let cells = experiments::effectiveness_grid(&scale);
-    println!("{}", experiments::fig1(&cells, &scale));
+    let scenario = scenario_from_args(
+        "Figure 1: efficiency/effectiveness radar",
+        Scenario::effectiveness,
+    );
+    let cells = experiments::run_scenario(&scenario);
+    println!("{}", experiments::fig1(&cells, &scenario));
 }

@@ -1,49 +1,47 @@
-//! Streams one full-protocol run per strategy to disk — and doubles as
-//! the CI determinism gate.
+//! Streams one full-protocol run per scenario cell to disk — and
+//! doubles as the CI determinism gate.
 //!
-//! For every registry strategy the cell runs with within-cell
-//! parallelism enabled ([`Parallelism::Auto`]) and each per-epoch
-//! metric row is written to `results/<strategy>.csv` the moment it is
-//! computed — no per-epoch vector is held in memory, so
-//! `MOSAIC_SCALE=full` (the paper's 200-epoch protocol) runs in
-//! bounded memory at hardware speed.
+//! The run is described by a declarative scenario: either a checked-in
+//! spec (`--scenario scenarios/quick.scenario`) or the
+//! [`Scenario::full_protocol`] preset at the `MOSAIC_SCALE` scale. The
+//! session materialises the trace once, runs every cell with
+//! within-cell parallelism as specified, and each per-epoch metric row
+//! is written to `<dir>/<cell>.csv` the moment it is computed — no
+//! per-epoch vector is held in memory, so the paper's 200-epoch
+//! protocol (`scenarios/full.scenario`) runs in bounded memory at
+//! hardware speed.
 //!
-//! With `--check-determinism` no files are written: every strategy's
-//! cell runs **twice** — `cell_parallelism` 1 versus a thread count
-//! beyond the machine's cores — and the two CSV byte streams are
-//! compared. Any difference exits non-zero; this is the end-to-end
-//! enforcement of the allocators' parallel-equals-sequential contract.
+//! With `--check-determinism` no files are written: every cell runs
+//! **twice** through [`Simulation::stream_cell`] — `cell_parallelism` 1
+//! versus a thread count beyond the machine's cores — and the two CSV
+//! byte streams are compared. Any difference exits non-zero; this is
+//! the end-to-end enforcement of the allocators'
+//! parallel-equals-sequential contract, exercised through the scenario
+//! parser and session path CI actually ships.
 //!
 //! ```text
+//! cargo run -p mosaic-bench --release --bin full_run -- --scenario scenarios/full.scenario
 //! MOSAIC_SCALE=full cargo run -p mosaic-bench --release --bin full_run
 //! MOSAIC_STRATEGY=Pilot cargo run -p mosaic-bench --release --bin full_run
-//! MOSAIC_SCALE=quick cargo run -p mosaic-bench --release --bin full_run -- --check-determinism
+//! cargo run -p mosaic-bench --release --bin full_run -- \
+//!     --scenario scenarios/quick.scenario --check-determinism
 //! ```
 
-use std::fs;
-use std::io::BufWriter;
 use std::num::NonZeroUsize;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::runner::{run_streaming, ExperimentConfig};
-use mosaic_sim::{Parallelism, Strategy};
-use mosaic_types::SystemParams;
-use mosaic_workload::{generate, TransactionTrace};
+use mosaic_bench::{print_header, scenario_path_from_args};
+use mosaic_sim::engine::RunSummary;
+use mosaic_sim::scenario::CellSpec;
+use mosaic_sim::{ObserverSpec, Parallelism, RunObserver, Scale, Scenario, Simulation, Strategy};
 
-/// Runs every (filtered) strategy with `cell_parallelism` 1 vs max and
-/// fails on any CSV byte difference. Returns `(checked, divergent)`
-/// strategy counts — a gate that compared nothing must not pass.
-fn check_determinism(
-    params: SystemParams,
-    trace: &TransactionTrace,
-    eval_epochs: usize,
-    only: Option<&str>,
-) -> (usize, usize) {
-    // Strictly more workers than the machine has cores (2x,
-    // minimum 4), so the threaded code paths engage even on
-    // single-core runners AND the oversubscribed-scheduling case is
-    // exercised on every runner.
+/// Runs every cell twice through the session (`cell_parallelism` 1 vs
+/// max) and fails on any CSV byte difference. Returns `(checked,
+/// divergent)` cell counts — a gate that compared nothing must not pass.
+fn check_determinism(sim: &Simulation) -> (usize, usize) {
+    // Strictly more workers than the machine has cores (2x, minimum 4),
+    // so the threaded code paths engage even on single-core runners AND
+    // the oversubscribed-scheduling case is exercised on every runner.
     let max_workers = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -51,32 +49,23 @@ fn check_determinism(
         .max(4);
     let mut checked = 0usize;
     let mut divergent = 0usize;
-    for strategy in Strategy::ALL {
-        if only.is_some_and(|s| s != strategy.name()) {
-            continue;
-        }
+    for cell in sim.cells() {
         checked += 1;
-        let config = ExperimentConfig::new(params, strategy, eval_epochs);
-        let mut sequential: Vec<u8> = Vec::new();
-        run_streaming(
-            &config.with_cell_parallelism(Parallelism::Threads(1)),
-            trace,
-            &mut sequential,
-        )
-        .expect("vec sink cannot fail");
-        let mut parallel: Vec<u8> = Vec::new();
-        run_streaming(
-            &config.with_cell_parallelism(Parallelism::Threads(max_workers)),
-            trace,
-            &mut parallel,
-        )
-        .expect("vec sink cannot fail");
+        let name = format!("{} / {}", cell.label, cell.config.strategy.name());
+        let stream_at = |parallelism: Parallelism| {
+            let mut variant = cell.clone();
+            variant.config.cell_parallelism = parallelism;
+            let mut bytes: Vec<u8> = Vec::new();
+            sim.stream_cell(&variant, &mut bytes)
+                .expect("vec sink cannot fail");
+            bytes
+        };
+        let sequential = stream_at(Parallelism::Threads(1));
+        let parallel = stream_at(Parallelism::Threads(max_workers));
         if sequential == parallel {
             println!(
-                "{:<10} OK: {} CSV bytes identical at 1 vs {} workers",
-                strategy.name(),
+                "{name:<20} OK: {} CSV bytes identical at 1 vs {max_workers} workers",
                 sequential.len(),
-                max_workers,
             );
         } else {
             divergent += 1;
@@ -86,9 +75,8 @@ fn check_determinism(
                 .position(|(a, b)| a != b)
                 .unwrap_or_else(|| sequential.len().min(parallel.len()));
             eprintln!(
-                "{:<10} DIVERGED: first differing byte at offset {first_diff} \
+                "{name:<20} DIVERGED: first differing byte at offset {first_diff} \
                  ({} vs {} bytes total)",
-                strategy.name(),
                 sequential.len(),
                 parallel.len(),
             );
@@ -97,74 +85,112 @@ fn check_determinism(
     (checked, divergent)
 }
 
-fn main() {
-    let check = std::env::args().any(|a| a == "--check-determinism");
-    let scale = scale_from_env(if check {
-        "Determinism gate (cell_parallelism 1 vs max, byte-compared CSVs)"
-    } else {
-        "Full-protocol streaming run (per-epoch CSV per strategy)"
-    });
-    let params = SystemParams::builder()
-        .shards(16)
-        .eta(2.0)
-        .tau(scale.tau)
-        .build()
-        .expect("valid default parameters");
-    let only = std::env::var("MOSAIC_STRATEGY").ok();
-    // Fail fast on a typo'd filter: silently matching nothing would let
-    // an overnight run exit 0 with no data.
-    if let Some(name) = only.as_deref() {
-        if !Strategy::ALL.iter().any(|s| s.name() == name) {
-            let valid: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
-            eprintln!("unknown MOSAIC_STRATEGY {name:?}; valid names: {valid:?}");
-            std::process::exit(2);
-        }
-    }
+/// Prints one summary line per finished cell, as cells complete.
+struct PrintSummary {
+    single_point: bool,
+    dir: Option<PathBuf>,
+}
 
-    let trace = generate(&scale.workload).into_trace();
-
-    if check {
-        let (checked, divergent) =
-            check_determinism(params, &trace, scale.eval_epochs, only.as_deref());
-        if divergent > 0 {
-            eprintln!("determinism check FAILED for {divergent} strategies");
-            std::process::exit(1);
-        }
-        // Belt and braces: the filter is validated above, but a gate
-        // that compared nothing must never report success.
-        if checked == 0 {
-            eprintln!("determinism check matched no strategies");
-            std::process::exit(1);
-        }
-        println!("determinism check passed for all {checked} strategies");
-        return;
-    }
-    // Repo root, resolved from this crate's manifest dir so the output
-    // lands in the gitignored /results regardless of invocation cwd.
-    let results_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    fs::create_dir_all(&results_dir).expect("create results/ directory");
-
-    for strategy in Strategy::ALL {
-        if only.as_deref().is_some_and(|s| s != strategy.name()) {
-            continue;
-        }
-        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs)
-            .with_cell_parallelism(Parallelism::Auto);
-        let path = results_dir.join(format!("{}.csv", strategy.name().to_lowercase()));
-        let file = fs::File::create(&path).expect("create per-strategy CSV");
-        let mut out = BufWriter::new(file);
-        let summary = run_streaming(&config, &trace, &mut out).expect("stream epoch rows");
+impl RunObserver for PrintSummary {
+    fn on_cell(&self, cell: &CellSpec, summary: &RunSummary) {
+        let dest = self
+            .dir
+            .as_ref()
+            .map(|d| {
+                format!(
+                    " -> {}",
+                    d.join(format!("{}.csv", cell.file_stem(self.single_point)))
+                        .display()
+                )
+            })
+            .unwrap_or_default();
         println!(
-            "{:<10} {} epochs -> {}: ratio {:.4}, throughput {:.2}, deviation {:.2}, \
+            "{:<20} {} epochs{dest}: ratio {:.4}, throughput {:.2}, deviation {:.2}, \
              {} migrations, mean alloc {:.3e} s",
-            strategy.name(),
+            format!("{} / {}", cell.label, cell.config.strategy.name()),
             summary.epochs,
-            path.display(),
             summary.aggregate.cross_ratio,
             summary.aggregate.normalized_throughput,
             summary.aggregate.workload_deviation,
             summary.total_migrations,
             summary.mean_alloc_seconds,
         );
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check-determinism");
+    let mut scenario = match scenario_path_from_args() {
+        Some(path) => Scenario::load(&path).unwrap_or_else(|e| {
+            eprintln!("failed to load scenario {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            // Preset fallback: repo root resolved from this crate's
+            // manifest dir so the output lands in the gitignored
+            // /results regardless of invocation cwd.
+            let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+            Scenario::full_protocol(&Scale::from_env())
+                .with_observers([ObserverSpec::StreamCsv(results)])
+        }
+    };
+    // Fail fast on a typo'd filter: silently matching nothing would let
+    // an overnight run exit 0 with no data.
+    if let Ok(name) = std::env::var("MOSAIC_STRATEGY") {
+        let strategy: Strategy = name.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        scenario.strategies.retain(|s| *s == strategy);
+        if scenario.strategies.is_empty() {
+            eprintln!("MOSAIC_STRATEGY {name:?} is not in the scenario's strategy set");
+            std::process::exit(2);
+        }
+    }
+    print_header(
+        if check {
+            "Determinism gate (cell_parallelism 1 vs max, byte-compared CSVs)"
+        } else {
+            "Full-protocol streaming run (per-epoch CSV per cell)"
+        },
+        &scenario,
+    );
+
+    if check {
+        let sim = Simulation::from_scenario(scenario).unwrap_or_else(|e| {
+            eprintln!("failed to materialise scenario: {e}");
+            std::process::exit(2);
+        });
+        let (checked, divergent) = check_determinism(&sim);
+        if divergent > 0 {
+            eprintln!("determinism check FAILED for {divergent} cells");
+            std::process::exit(1);
+        }
+        // Belt and braces: validation guarantees at least one strategy,
+        // but a gate that compared nothing must never report success.
+        if checked == 0 {
+            eprintln!("determinism check matched no cells");
+            std::process::exit(1);
+        }
+        println!("determinism check passed for all {checked} cells");
+        return;
+    }
+
+    let printer = PrintSummary {
+        single_point: scenario.is_single_point(),
+        dir: scenario.observers.iter().find_map(|o| match o {
+            ObserverSpec::StreamCsv(dir) => Some(dir.clone()),
+            ObserverSpec::Collect => None,
+        }),
+    };
+    let sim = Simulation::from_scenario(scenario)
+        .unwrap_or_else(|e| {
+            eprintln!("failed to materialise scenario: {e}");
+            std::process::exit(2);
+        })
+        .with_observer(Box::new(printer));
+    if let Err(e) = sim.run() {
+        eprintln!("scenario run failed: {e}");
+        std::process::exit(1);
     }
 }

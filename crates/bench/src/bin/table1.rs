@@ -1,10 +1,13 @@
 //! Regenerates Table I: average cross-shard transaction ratios.
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::experiments;
+use mosaic_bench::scenario_from_args;
+use mosaic_sim::{experiments, Scenario};
 
 fn main() {
-    let scale = scale_from_env("Table I: cross-shard transaction ratio");
-    let cells = experiments::effectiveness_grid(&scale);
+    let scenario = scenario_from_args(
+        "Table I: cross-shard transaction ratio",
+        Scenario::effectiveness,
+    );
+    let cells = experiments::run_scenario(&scenario);
     println!("{}", experiments::table1(&cells));
 }

@@ -1,10 +1,10 @@
 //! Regenerates Table II: average throughput improvement Λ/λ.
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::experiments;
+use mosaic_bench::scenario_from_args;
+use mosaic_sim::{experiments, Scenario};
 
 fn main() {
-    let scale = scale_from_env("Table II: normalized throughput");
-    let cells = experiments::effectiveness_grid(&scale);
+    let scenario = scenario_from_args("Table II: normalized throughput", Scenario::effectiveness);
+    let cells = experiments::run_scenario(&scenario);
     println!("{}", experiments::table2(&cells));
 }

@@ -1,10 +1,13 @@
 //! Regenerates Table IV: average running time (seconds) and input size.
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::experiments;
+use mosaic_bench::scenario_from_args;
+use mosaic_sim::{experiments, Scenario};
 
 fn main() {
-    let scale = scale_from_env("Table IV: running time and input data size");
-    let cells = experiments::effectiveness_grid(&scale);
+    let scenario = scenario_from_args(
+        "Table IV: running time and input data size",
+        Scenario::effectiveness,
+    );
+    let cells = experiments::run_scenario(&scenario);
     println!("{}", experiments::table4(&cells));
 }

@@ -1,9 +1,12 @@
 //! Regenerates Table V: impact of the future-knowledge ratio β.
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::experiments;
+use mosaic_bench::scenario_from_args;
+use mosaic_sim::{experiments, Scenario};
 
 fn main() {
-    let scale = scale_from_env("Table V: future knowledge (beta sweep, k = 4)");
-    println!("{}", experiments::table5(&scale));
+    let scenario = scenario_from_args(
+        "Table V: future knowledge (beta sweep, k = 4)",
+        Scenario::beta_sweep,
+    );
+    println!("{}", experiments::table5(&scenario));
 }

@@ -1,10 +1,10 @@
 //! Regenerates Table VI: the framework comparison, with measured values.
 
-use mosaic_bench::scale_from_env;
-use mosaic_sim::experiments;
+use mosaic_bench::scenario_from_args;
+use mosaic_sim::{experiments, Scenario};
 
 fn main() {
-    let scale = scale_from_env("Table VI: framework comparison");
-    let cells = experiments::effectiveness_grid(&scale);
-    println!("{}", experiments::table6(&cells, &scale));
+    let scenario = scenario_from_args("Table VI: framework comparison", Scenario::effectiveness);
+    let cells = experiments::run_scenario(&scenario);
+    println!("{}", experiments::table6(&cells, &scenario));
 }

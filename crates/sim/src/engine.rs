@@ -551,8 +551,8 @@ pub fn run_with_observer(
     let (initial_phi, init_time) =
         strategy.initial_allocation(train, &mut history, params.shards());
 
-    let mut ledger =
-        Ledger::new(params, initial_phi, config.miner_count).expect("consistent shard counts");
+    let mut ledger = Ledger::new(params, initial_phi, config.resolved_miner_count())
+        .expect("consistent shard counts");
     ledger.set_migration_capacity(config.migration_capacity);
     ledger.set_parallelism(config.cell_parallelism);
 

@@ -5,34 +5,32 @@
 //! can print them directly. See `EXPERIMENTS.md` at the repository root
 //! for the paper-vs-measured record.
 //!
-//! All grids run their independent cells on a worker pool via
-//! [`crate::parallel::ordered_map`]; results are order-stable and — the
-//! engine being deterministic — byte-identical to a sequential run on
-//! the same seed.
+//! Since the scenario redesign, every grid here is *data*: the
+//! effectiveness grid is [`Scenario::effectiveness`], the β sweep is
+//! [`Scenario::beta_sweep`], and the ablations derive their grids from
+//! a base scenario — all executed by a
+//! [`Simulation`](crate::session::Simulation) session that materialises
+//! the trace once, shares it across cells behind an `Arc`, and runs the
+//! independent cells on the order-stable worker pool. Results are
+//! order-stable and — the engine being deterministic — byte-identical
+//! to a sequential run on the same seed.
 
 use mosaic_metrics::data_size::human_bytes;
 use mosaic_metrics::TextTable;
 use mosaic_types::SystemParams;
-use mosaic_workload::{generate, TransactionTrace};
 
-use crate::parallel::{ordered_map, Parallelism};
+use crate::parallel::Parallelism;
 use crate::radar::RadarAxis;
-use crate::runner::{run, run_custom, ExperimentConfig, ExperimentResult};
+use crate::runner::{ExperimentConfig, ExperimentResult};
 use crate::scale::Scale;
+use crate::scenario::{Capacity, GridAxis, Scenario};
+pub use crate::session::GridCell;
+use crate::session::Simulation;
 use crate::strategy::Strategy;
 
-/// One grid cell: a parameter label (the paper's row key) plus the
-/// measured result of one strategy.
-#[derive(Debug, Clone, PartialEq)]
-pub struct GridCell {
-    /// Row label: `"k = 4"`, `"η = 5"`, …
-    pub param_label: String,
-    /// The measured experiment.
-    pub result: ExperimentResult,
-}
-
 /// The parameter rows of Tables I–IV: `k ∈ {4, 16, 32}` at `η = 2`, then
-/// `η ∈ {5, 10}` at `k = 16` (§V-A).
+/// `η ∈ {5, 10}` at `k = 16` (§V-A). Identical to the points
+/// [`Scenario::effectiveness`] expands to.
 pub fn parameter_sets(tau: u32) -> Vec<(String, SystemParams)> {
     let build = |k: u16, eta: f64| {
         SystemParams::builder()
@@ -52,49 +50,41 @@ pub fn parameter_sets(tau: u32) -> Vec<(String, SystemParams)> {
 }
 
 /// The flat cell list of the effectiveness grid: every parameter set ×
-/// every strategy, in the paper's report order.
+/// every strategy, in the paper's report order — the expansion of
+/// [`Scenario::effectiveness`].
 pub fn grid_specs(scale: &Scale) -> Vec<(String, ExperimentConfig)> {
-    let mut specs = Vec::new();
-    for (label, params) in parameter_sets(scale.tau) {
-        for strategy in Strategy::ALL {
-            specs.push((
-                label.clone(),
-                ExperimentConfig::new(params, strategy, scale.eval_epochs),
-            ));
-        }
-    }
-    specs
+    Scenario::effectiveness(scale)
+        .cells()
+        .expect("the paper grid is a valid scenario")
+        .into_iter()
+        .map(|cell| (cell.label, cell.config))
+        .collect()
 }
 
 /// Runs the full effectiveness grid — every parameter set × every
-/// strategy, all on the same generated trace — across the worker pool.
+/// strategy, all on one shared trace — across the worker pool.
 pub fn effectiveness_grid(scale: &Scale) -> Vec<GridCell> {
     effectiveness_grid_with(scale, Parallelism::Auto)
 }
 
 /// [`effectiveness_grid`] with explicit worker-pool sizing. The result
 /// is independent of the parallelism level (cells are deterministic and
-/// collected in input order).
+/// collected in input order). A thin wrapper over
+/// [`Simulation::from_scenario`] + [`Simulation::run`].
 pub fn effectiveness_grid_with(scale: &Scale, parallelism: Parallelism) -> Vec<GridCell> {
-    let trace = generate(&scale.workload).into_trace();
-    let specs = grid_specs(scale);
-    ordered_map(&specs, parallelism, |(label, config)| GridCell {
-        param_label: label.clone(),
-        result: run(config, &trace),
-    })
+    run_scenario(&Scenario::effectiveness(scale).with_grid_parallelism(parallelism))
 }
 
-/// Runs a set of strategies in parallel over a shared trace, returning
-/// results in the strategies' order.
-pub fn run_strategies(
-    trace: &TransactionTrace,
-    params: SystemParams,
-    eval_epochs: usize,
-    strategies: &[Strategy],
-) -> Vec<ExperimentResult> {
-    ordered_map(strategies, Parallelism::Auto, |&strategy| {
-        run(&ExperimentConfig::new(params, strategy, eval_epochs), trace)
-    })
+/// Materialises and runs `scenario`, panicking on failure — the
+/// convenience every table function uses for presets known to be valid.
+/// Fallible callers (scenario files from disk) should drive
+/// [`Simulation`] directly.
+pub fn run_scenario(scenario: &Scenario) -> Vec<GridCell> {
+    Simulation::from_scenario(scenario.clone())
+        .unwrap_or_else(|e| panic!("scenario '{}' failed to materialise: {e}", scenario.name))
+        .run()
+        .unwrap_or_else(|e| panic!("scenario '{}' failed to run: {e}", scenario.name))
+        .cells
 }
 
 fn find<'a>(cells: &'a [GridCell], label: &str, strategy: Strategy) -> &'a ExperimentResult {
@@ -113,6 +103,18 @@ fn row_labels(cells: &[GridCell]) -> Vec<String> {
         }
     }
     labels
+}
+
+/// The grid point the single-point comparisons (Table VI, Figure 1, the
+/// Table IV input row) report on: the paper's default `k = 16` when the
+/// grid contains it, otherwise the first grid point.
+fn default_label(cells: &[GridCell]) -> String {
+    let labels = row_labels(cells);
+    labels
+        .iter()
+        .find(|l| l.as_str() == "k = 16")
+        .unwrap_or(&labels[0])
+        .clone()
 }
 
 /// **Table I** — average cross-shard transaction ratios. Pilot carries a
@@ -226,15 +228,11 @@ pub fn table4(cells: &[GridCell]) -> TextTable {
         ]);
     }
     // Input data row (any parameter set; the paper reports one line).
-    let labels = row_labels(cells);
-    let default_label = labels
-        .iter()
-        .find(|l| l.as_str() == "k = 16")
-        .unwrap_or(&labels[0]);
-    let pilot = find(cells, default_label, Strategy::Mosaic).mean_input_bytes;
-    let a = find(cells, default_label, Strategy::ATxAllo).mean_input_bytes;
-    let g = find(cells, default_label, Strategy::GTxAllo).mean_input_bytes;
-    let metis = find(cells, default_label, Strategy::Metis).mean_input_bytes;
+    let label = default_label(cells);
+    let pilot = find(cells, &label, Strategy::Mosaic).mean_input_bytes;
+    let a = find(cells, &label, Strategy::ATxAllo).mean_input_bytes;
+    let g = find(cells, &label, Strategy::GTxAllo).mean_input_bytes;
+    let metis = find(cells, &label, Strategy::Metis).mean_input_bytes;
     t.push_row([
         "Input Data".to_string(),
         human_bytes(pilot),
@@ -244,46 +242,52 @@ pub fn table4(cells: &[GridCell]) -> TextTable {
     t
 }
 
-/// **Table V** — impact of future knowledge: Mosaic at `k = 4`, `η = 2`
-/// with `β ∈ {0, 0.25, 0.5, 0.75, 1}`.
-pub fn table5(scale: &Scale) -> TextTable {
-    let trace = generate(&scale.workload).into_trace();
-    let betas = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let results = ordered_map(&betas, Parallelism::Auto, |&beta| {
-        let params = SystemParams::builder()
-            .shards(4)
-            .eta(2.0)
-            .tau(scale.tau)
-            .beta(beta)
-            .build()
-            .expect("valid beta");
-        run(
-            &ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs),
-            &trace,
-        )
-    });
+/// **Table V** — impact of future knowledge: the `scenario`'s β axis
+/// run with Mosaic (the [`Scenario::beta_sweep`] preset reproduces the
+/// paper: `k = 4`, `η = 2`, `β ∈ {0, 0.25, 0.5, 0.75, 1}`).
+pub fn table5(scenario: &Scenario) -> TextTable {
+    table5_from(&run_scenario(scenario))
+}
 
+/// [`table5`] over already-run cells — for callers that executed the β
+/// sweep through their own session (e.g. sharing a trace with the main
+/// grid).
+pub fn table5_from(cells: &[GridCell]) -> TextTable {
     let mut t = TextTable::new(["Metrics", "Ratio", "Throughput", "Workload"]);
-    for (beta, result) in betas.iter().zip(&results) {
+    for cell in cells
+        .iter()
+        .filter(|c| c.result.strategy == Strategy::Mosaic)
+    {
         t.push_row([
-            format!("β = {beta}"),
-            format!("{:.2}%", result.aggregate.cross_ratio * 100.0),
-            format!("{:.2}", result.aggregate.normalized_throughput),
-            format!("{:.2}", result.aggregate.workload_deviation),
+            cell.param_label.clone(),
+            format!("{:.2}%", cell.result.aggregate.cross_ratio * 100.0),
+            format!("{:.2}", cell.result.aggregate.normalized_throughput),
+            format!("{:.2}", cell.result.aggregate.workload_deviation),
         ]);
     }
     t
 }
 
 /// **Table VI** — the framework comparison, filled with values measured
-/// on the default parameter set (`k = 16`, `η = 2`).
-pub fn table6(cells: &[GridCell], scale: &Scale) -> TextTable {
-    let label = "k = 16";
-    let mosaic = find(cells, label, Strategy::Mosaic);
-    let k = 16u64;
-    let total_txs = scale.workload.total_txs() as u64;
-    let accounts = scale.workload.initial_accounts as u64;
-    let window_txs = u64::from(scale.tau) * scale.workload.txs_per_block as u64;
+/// on the paper's default parameter set (`k = 16`) when the grid
+/// contains it, otherwise the grid's first point.
+///
+/// # Panics
+///
+/// Panics if `scenario` does not use a generated trace source (the
+/// replication columns need the workload's structural description) or
+/// if the grid lacks a Mosaic cell at the reported point.
+pub fn table6(cells: &[GridCell], scenario: &Scenario) -> TextTable {
+    let workload = scenario
+        .workload()
+        .expect("table6 needs a generated workload description");
+    let tau = scenario.base.tau();
+    let label = default_label(cells);
+    let mosaic = find(cells, &label, Strategy::Mosaic);
+    let k = u64::from(mosaic.params.shards());
+    let total_txs = workload.total_txs() as u64;
+    let accounts = workload.initial_accounts as u64;
+    let window_txs = u64::from(tau) * workload.txs_per_block as u64;
     let mr_total = mosaic.total_migrations as u64;
 
     let tx_bytes = 16u64; // TX_RECORD_BYTES
@@ -321,7 +325,9 @@ pub fn table6(cells: &[GridCell], scale: &Scale) -> TextTable {
         format!(
             "{} + {} (MR)",
             human_bytes((window_txs / k * tx_bytes) as f64),
-            human_bytes((mr_total / (mosaic.per_epoch.len().max(1) as u64) * mr_bytes) as f64)
+            // aggregate.epochs, not per_epoch.len(): collect-free
+            // observer stacks leave per_epoch empty.
+            human_bytes((mr_total / (mosaic.aggregate.epochs.max(1) as u64) * mr_bytes) as f64)
         ),
         human_bytes((window_txs / k * tx_bytes) as f64),
     ]);
@@ -335,14 +341,25 @@ pub fn table6(cells: &[GridCell], scale: &Scale) -> TextTable {
 /// **Figure 1** — the six-axis radar comparison of TxAllo vs Mosaic vs
 /// hash-based, on the default parameter set. Returns the normalised
 /// `[1, 5]` series (one row per axis).
-pub fn fig1(cells: &[GridCell], scale: &Scale) -> TextTable {
-    let label = "k = 16";
-    let mosaic = find(cells, label, Strategy::Mosaic);
-    let txallo = find(cells, label, Strategy::GTxAllo);
-    let random = find(cells, label, Strategy::Random);
-    let k = 16.0f64;
-    let window_txs = (u64::from(scale.tau) * scale.workload.txs_per_block as u64) as f64;
-    let epochs = mosaic.per_epoch.len().max(1) as f64;
+///
+/// # Panics
+///
+/// Panics if `scenario` does not use a generated trace source, or if
+/// the grid lacks Mosaic/G-TxAllo/Random cells at the reported point
+/// (`k = 16` when present, else the first grid point).
+pub fn fig1(cells: &[GridCell], scenario: &Scenario) -> TextTable {
+    let workload = scenario
+        .workload()
+        .expect("fig1 needs a generated workload description");
+    let label = default_label(cells);
+    let mosaic = find(cells, &label, Strategy::Mosaic);
+    let txallo = find(cells, &label, Strategy::GTxAllo);
+    let random = find(cells, &label, Strategy::Random);
+    let k = f64::from(mosaic.params.shards());
+    let window_txs = (u64::from(scenario.base.tau()) * workload.txs_per_block as u64) as f64;
+    // aggregate.epochs, not per_epoch.len(): collect-free observer
+    // stacks leave per_epoch empty.
+    let epochs = mosaic.aggregate.epochs.max(1) as f64;
     let mr_per_epoch = mosaic.total_migrations as f64 / epochs;
 
     // Hash-based per-account work: one SHA-256, measured directly.
@@ -415,36 +432,67 @@ pub fn fig1(cells: &[GridCell], scale: &Scale) -> TextTable {
     t
 }
 
+/// The base scenario of the ablation studies: the default parameter
+/// point (`k = 16`, `η = 2`) on the scale's workload, no grid. Each
+/// ablation derives its own grid/strategies from this.
+pub fn ablation_base(scale: &Scale) -> Scenario {
+    Scenario::new(
+        format!("ablation-{}", scale.label),
+        mosaic_workload::TraceSource::Generated(scale.workload.clone()),
+        scale.eval_epochs,
+    )
+    .with_base(
+        SystemParams::builder()
+            .shards(16)
+            .eta(2.0)
+            .tau(scale.tau)
+            .build()
+            .expect("valid ablation params"),
+    )
+}
+
 /// **Ablation (beyond the paper)** — Pilot versus policies that use only
 /// one of its two signals (interactions / workload) or none (sticky),
-/// at `k = 16`, `η = 2`. Each policy runs as a
-/// [`MosaicStrategy`](crate::engine::MosaicStrategy) through the same
-/// unified pipeline as the main grid.
-pub fn policy_ablation(scale: &Scale) -> TextTable {
+/// on the base point of the `session`'s scenario. Each policy runs
+/// through a sibling session over the *same* `Arc`'d trace — four
+/// strategy variants, zero trace regenerations (pass the session you
+/// already built for the other ablations to share its trace too).
+pub fn policy_ablation(session: &Simulation) -> TextTable {
     use crate::engine::{EpochStrategy, MosaicStrategy};
     use mosaic_core::policy::{
         InteractionOnlyPolicy, PilotPolicy, StickyPolicy, WorkloadOnlyPolicy,
     };
 
-    let trace = generate(&scale.workload).into_trace();
-    let params = SystemParams::builder()
-        .shards(16)
-        .eta(2.0)
-        .tau(scale.tau)
-        .build()
-        .expect("valid ablation params");
-    let config = ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs);
+    let base = Scenario {
+        grid: Vec::new(),
+        strategies: vec![Strategy::Mosaic],
+        // Collect only: the four policy sessions run concurrently and
+        // would otherwise race on one stream-csv path per cell.
+        observers: vec![crate::scenario::ObserverSpec::Collect],
+        ..session.scenario().clone()
+    };
+    let trace = session.trace();
 
     let policies = ["Pilot", "InteractionOnly", "WorkloadOnly", "Sticky"];
-    let results = ordered_map(&policies, Parallelism::Auto, |&name| {
-        let mut strategy: Box<dyn EpochStrategy> = match name {
-            "Pilot" => Box::new(MosaicStrategy::new(params, PilotPolicy)),
-            "InteractionOnly" => Box::new(MosaicStrategy::new(params, InteractionOnlyPolicy)),
-            "WorkloadOnly" => Box::new(MosaicStrategy::new(params, WorkloadOnlyPolicy)),
-            "Sticky" => Box::new(MosaicStrategy::new(params, StickyPolicy)),
-            other => unreachable!("unknown ablation policy {other}"),
-        };
-        run_custom(&config, &trace, strategy.as_mut())
+    let results = crate::parallel::ordered_map(&policies, Parallelism::Auto, |&name| {
+        let session = Simulation::with_trace(base.clone(), trace.clone())
+            .expect("validated scenario stays valid");
+        let report = session
+            .run_with_factory(|cell| {
+                let params = cell.config.params;
+                let strategy: Box<dyn EpochStrategy> = match name {
+                    "Pilot" => Box::new(MosaicStrategy::new(params, PilotPolicy)),
+                    "InteractionOnly" => {
+                        Box::new(MosaicStrategy::new(params, InteractionOnlyPolicy))
+                    }
+                    "WorkloadOnly" => Box::new(MosaicStrategy::new(params, WorkloadOnlyPolicy)),
+                    "Sticky" => Box::new(MosaicStrategy::new(params, StickyPolicy)),
+                    other => unreachable!("unknown ablation policy {other}"),
+                };
+                strategy
+            })
+            .expect("in-memory session cannot hit an io error");
+        report.cells.into_iter().next().expect("one cell").result
     });
 
     let mut t = TextTable::new(["Policy", "Ratio", "Throughput", "Workload", "Migrations"]);
@@ -462,22 +510,26 @@ pub fn policy_ablation(scale: &Scale) -> TextTable {
 
 /// **Ablation (beyond the paper)** — the beacon-chain capacity bound:
 /// the paper commits at most `λ` migration requests per epoch; this
-/// compares that against an unbounded beacon at `k = 16`, `η = 2`.
-pub fn capacity_ablation(scale: &Scale) -> TextTable {
-    let trace = generate(&scale.workload).into_trace();
-    let params = SystemParams::builder()
-        .shards(16)
-        .eta(2.0)
-        .tau(scale.tau)
-        .build()
-        .expect("valid ablation params");
-    let bounded_cfg = ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs);
-    let unbounded_cfg = ExperimentConfig {
-        migration_capacity: Some(usize::MAX),
-        ..bounded_cfg
+/// compares that against an unbounded beacon on the base point of the
+/// `session`'s scenario — expressed as a capacity grid axis over the
+/// session's already-materialised trace, not hand-wired configs.
+pub fn capacity_ablation(session: &Simulation) -> TextTable {
+    let derived = Scenario {
+        grid: vec![GridAxis::MigrationCapacity(vec![
+            Capacity::Lambda,
+            Capacity::Unbounded,
+        ])],
+        strategies: vec![Strategy::Mosaic],
+        // Collect only: a stream-csv observer inherited from the caller
+        // would clobber files written by other studies in the same dir.
+        observers: vec![crate::scenario::ObserverSpec::Collect],
+        ..session.scenario().clone()
     };
-    let configs = [bounded_cfg, unbounded_cfg];
-    let results = ordered_map(&configs, Parallelism::Auto, |config| run(config, &trace));
+    let cells = Simulation::with_trace(derived, session.trace())
+        .expect("a derived single-axis scenario stays valid")
+        .run()
+        .expect("collect-only session cannot hit an io error")
+        .cells;
 
     let mut t = TextTable::new([
         "Beacon capacity",
@@ -486,10 +538,8 @@ pub fn capacity_ablation(scale: &Scale) -> TextTable {
         "Workload",
         "Migrations",
     ]);
-    for (name, r) in [
-        ("λ-bounded (paper)", &results[0]),
-        ("unbounded", &results[1]),
-    ] {
+    for (name, cell) in ["λ-bounded (paper)", "unbounded"].iter().zip(&cells) {
+        let r = &cell.result;
         t.push_row([
             name.to_string(),
             format!("{:.2}%", r.aggregate.cross_ratio * 100.0),
@@ -511,14 +561,20 @@ pub fn capacity_ablation(scale: &Scale) -> TextTable {
 /// expected future transactions, β > 0 — self-places at debut, before
 /// any history exists. The table therefore compares G-TxAllo against
 /// Pilot with and without future knowledge as churn grows.
-pub fn churn_ablation(scale: &Scale) -> TextTable {
-    let params = SystemParams::builder()
-        .shards(16)
-        .eta(2.0)
-        .tau(scale.tau)
-        .build()
-        .expect("valid ablation params");
-    let informed = params.with_beta(0.5).expect("valid beta");
+///
+/// Each churn rate is one workload variant; the Pilot β sweep and the
+/// G-TxAllo baseline run as two sessions over the *same* materialised
+/// trace.
+///
+/// # Panics
+///
+/// Panics if `scenario` does not use a generated trace source (churn is
+/// a generator knob).
+pub fn churn_ablation(scenario: &Scenario) -> TextTable {
+    let workload = scenario
+        .workload()
+        .expect("churn ablation needs a generated workload")
+        .clone();
     let rates = [0.0, 1.0, 4.0];
 
     let mut t = TextTable::new([
@@ -529,14 +585,31 @@ pub fn churn_ablation(scale: &Scale) -> TextTable {
         "Informed-Pilot advantage",
     ]);
     for &rate in &rates {
-        let trace = generate(&scale.workload.clone().with_churn(rate)).into_trace();
-        let configs = [
-            ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs),
-            ExperimentConfig::new(informed, Strategy::Mosaic, scale.eval_epochs),
-            ExperimentConfig::new(params, Strategy::GTxAllo, scale.eval_epochs),
-        ];
-        let results = ordered_map(&configs, Parallelism::Auto, |config| run(config, &trace));
-        let (pilot, pilot_informed, gtxallo) = (&results[0], &results[1], &results[2]);
+        let churned = Scenario {
+            trace: mosaic_workload::TraceSource::Generated(workload.clone().with_churn(rate)),
+            grid: vec![GridAxis::Beta(vec![0.0, 0.5])],
+            strategies: vec![Strategy::Mosaic],
+            // Collect only: every churn rate expands to the same cell
+            // labels, so an inherited stream-csv observer would leave
+            // only the last rate's files on disk.
+            observers: vec![crate::scenario::ObserverSpec::Collect],
+            ..scenario.clone()
+        };
+        let pilots = Simulation::from_scenario(churned.clone())
+            .unwrap_or_else(|e| panic!("churn scenario failed: {e}"));
+        let baseline = Simulation::with_trace(
+            Scenario {
+                grid: Vec::new(),
+                strategies: vec![Strategy::GTxAllo],
+                ..churned
+            },
+            pilots.trace(),
+        )
+        .expect("validated scenario stays valid");
+        let pilot_cells = pilots.run().expect("in-memory session").cells;
+        let baseline_cells = baseline.run().expect("in-memory session").cells;
+        let (pilot, pilot_informed) = (&pilot_cells[0].result, &pilot_cells[1].result);
+        let gtxallo = &baseline_cells[0].result;
         t.push_row([
             format!("{rate}"),
             format!("{:.2}%", pilot.aggregate.cross_ratio * 100.0),
@@ -567,13 +640,13 @@ mod tests {
         assert_eq!(cells.len(), 5 * Strategy::ALL.len());
         assert_eq!(row_labels(&cells).len(), 5);
         // Tables render without panicking and have the right row counts.
-        let scale = Scale::quick();
+        let scenario = Scenario::effectiveness(&Scale::quick());
         assert_eq!(table1(&cells).row_count(), 5);
         assert_eq!(table2(&cells).row_count(), 5);
         assert_eq!(table3(&cells).row_count(), 5);
         assert_eq!(table4(&cells).row_count(), 6); // 5 params + input row
-        assert!(fig1(&cells, &scale).row_count() == 6);
-        assert!(table6(&cells, &scale).row_count() >= 8);
+        assert!(fig1(&cells, &scenario).row_count() == 6);
+        assert!(table6(&cells, &scenario).row_count() >= 8);
     }
 
     #[test]
@@ -614,7 +687,7 @@ mod tests {
     fn table5_is_monotonic_in_shape() {
         // Smoke test: the sweep runs and produces 5 rows; monotonicity is
         // asserted loosely (β=1 may regress slightly, as in the paper).
-        let t = table5(&Scale::quick());
+        let t = table5(&Scenario::beta_sweep(&Scale::quick()));
         assert_eq!(t.row_count(), 5);
     }
 
@@ -626,5 +699,21 @@ mod tests {
         assert_eq!(sets[2].1.shards(), 32);
         assert_eq!(sets[3].1.eta(), 5.0);
         assert_eq!(sets[4].1.eta(), 10.0);
+    }
+
+    #[test]
+    fn grid_specs_agree_with_parameter_sets() {
+        // The scenario expansion and the hand-written paper grid are the
+        // same data.
+        let scale = Scale::quick();
+        let specs = grid_specs(&scale);
+        let sets = parameter_sets(scale.tau);
+        assert_eq!(specs.len(), sets.len() * Strategy::ALL.len());
+        for (i, (label, config)) in specs.iter().enumerate() {
+            let (expected_label, expected_params) = &sets[i / Strategy::ALL.len()];
+            assert_eq!(label, expected_label);
+            assert_eq!(config.params, *expected_params);
+            assert_eq!(config.strategy, Strategy::ALL[i % Strategy::ALL.len()]);
+        }
     }
 }

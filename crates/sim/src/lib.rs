@@ -13,11 +13,21 @@
 //! * [`Scale`] — workload/epoch presets (`quick` for tests, `default`
 //!   for commodity-hardware runs, `full` for the paper's 200-epoch
 //!   protocol);
-//! * [`runner`] — the 90/10 train–eval protocol: [`runner::run`] for
-//!   registry strategies, [`runner::run_custom`] for caller-supplied
-//!   [`EpochStrategy`] implementations, and [`runner::run_streaming`]
-//!   for bounded-memory runs that write each per-epoch CSV row to disk
-//!   as it is produced;
+//! * [`scenario`] — the declarative experiment spec: a [`Scenario`]
+//!   names a trace source, a parameter grid ([`GridAxis`] over
+//!   `k`/`η`/`τ`/`β`/`λ`/capacity), the strategy set, parallelism and
+//!   observers, and round-trips through a text format so studies live
+//!   as checked-in `.scenario` files;
+//! * [`session`] — [`Simulation`], the runnable form of a scenario:
+//!   the trace is materialised **once**, shared across all grid cells
+//!   behind an `Arc`, and every cell streams through the engine with
+//!   the scenario's observer stack — the single entry point subsuming
+//!   the historical run/run_custom/run_streaming/grid scatter;
+//! * [`runner`] — the 90/10 train–eval protocol primitives the session
+//!   is built from: [`runner::run`] for one registry cell,
+//!   [`runner::run_custom`] for caller-supplied [`EpochStrategy`]
+//!   implementations, and [`runner::run_streaming`] for bounded-memory
+//!   single-cell runs (all kept byte-identical to the session paths);
 //! * [`parallel`] — order-stable parallel execution (re-exported from
 //!   `mosaic_metrics::parallel`), used at two levels: independent
 //!   experiment cells across the grid, and chunk/per-shard work items
@@ -30,10 +40,13 @@
 //! # Example
 //!
 //! ```no_run
-//! use mosaic_sim::{experiments, Scale};
+//! use mosaic_sim::{experiments, Scale, Scenario, Simulation};
 //!
-//! let cells = experiments::effectiveness_grid(&Scale::quick());
-//! println!("{}", experiments::table1(&cells));
+//! // The paper's Tables I–IV grid as data: materialise the trace once,
+//! // run every cell, render Table I.
+//! let scenario = Scenario::effectiveness(&Scale::quick());
+//! let report = Simulation::from_scenario(scenario).unwrap().run().unwrap();
+//! println!("{}", experiments::table1(&report.cells));
 //! ```
 
 #![deny(missing_docs)]
@@ -45,10 +58,14 @@ pub mod parallel;
 pub mod radar;
 pub mod runner;
 pub mod scale;
+pub mod scenario;
+pub mod session;
 pub mod strategy;
 
 pub use engine::{EpochCtx, EpochDecision, EpochStrategy, MigrationCount, MosaicStrategy};
 pub use parallel::Parallelism;
 pub use runner::{ExperimentConfig, ExperimentResult};
 pub use scale::Scale;
+pub use scenario::{Capacity, GridAxis, ObserverSpec, Scenario};
+pub use session::{GridCell, RunObserver, Simulation, SimulationReport};
 pub use strategy::Strategy;

@@ -1,0 +1,463 @@
+//! Simulation sessions: one materialised trace, many experiment cells.
+//!
+//! A [`Simulation`] is the runnable form of a [`Scenario`]:
+//! [`Simulation::from_scenario`] validates the spec and materialises its
+//! trace **once** (generation or CSV load), holds it behind an [`Arc`],
+//! and [`Simulation::run`] drives every cell of the expanded grid over
+//! the order-stable worker pool — the single entry point that subsumes
+//! the historical `runner::run` / `run_custom` / `run_streaming` /
+//! `effectiveness_grid*` scatter.
+//!
+//! Sessions share traces: [`Simulation::with_trace`] builds a second
+//! session over the *same* `Arc` (no regeneration, no copy), which is
+//! how ablation studies run several strategy variants against one
+//! workload, and the first step toward sharing incremental `History`
+//! state across cells that replay the same trace.
+//!
+//! Every cell runs through the engine's single epoch loop
+//! ([`crate::engine::run_with_observer`]), so a scenario run is
+//! byte-identical to the legacy entry points on the same seed —
+//! enforced by `tests/scenario_equivalence.rs` and the scenario CI job.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mosaic_metrics::{EpochCsvWriter, EpochMetrics};
+use mosaic_types::{Error, Result};
+use mosaic_workload::TransactionTrace;
+
+use crate::engine::{self, EpochStrategy, RunSummary};
+use crate::parallel::ordered_map;
+use crate::runner::ExperimentResult;
+use crate::scenario::{CellSpec, ObserverSpec, Scenario};
+use crate::strategy::Strategy;
+
+/// One grid cell outcome: a parameter label (the paper's row key) plus
+/// the measured result of one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Row label: `"k = 4"`, `"η = 5"`, …
+    pub param_label: String,
+    /// The measured experiment.
+    pub result: ExperimentResult,
+}
+
+/// The outcome of a full scenario run: one [`GridCell`] per cell, in
+/// the scenario's report order (parameter points outermost, strategies
+/// innermost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// All cell outcomes.
+    pub cells: Vec<GridCell>,
+}
+
+impl SimulationReport {
+    /// Looks up the result of `strategy` at the parameter point
+    /// labelled `label`.
+    pub fn find(&self, label: &str, strategy: Strategy) -> Option<&ExperimentResult> {
+        self.cells
+            .iter()
+            .find(|c| c.param_label == label && c.result.strategy == strategy)
+            .map(|c| &c.result)
+    }
+
+    /// The distinct parameter-point labels, in report order.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for cell in &self.cells {
+            if !labels.contains(&cell.param_label) {
+                labels.push(cell.param_label.clone());
+            }
+        }
+        labels
+    }
+}
+
+/// Observes every cell a session runs — the custom layer of the
+/// scenario observer stack, attached via [`Simulation::with_observer`].
+///
+/// Implementations must be `Sync`: cells run concurrently across the
+/// grid pool, so callbacks for *different* cells may arrive from
+/// different threads at once (rows *within* one cell always arrive in
+/// epoch order).
+pub trait RunObserver: Sync {
+    /// Called for each evaluation epoch of each cell the moment its
+    /// metric row is computed. Returning `false` aborts that cell after
+    /// the current epoch (mirroring
+    /// [`crate::engine::run_with_observer`]).
+    fn on_epoch(&self, cell: &CellSpec, epoch: usize, metrics: &EpochMetrics) -> bool {
+        let _ = (cell, epoch, metrics);
+        true
+    }
+
+    /// Called once when a cell finishes (even if aborted early).
+    fn on_cell(&self, cell: &CellSpec, summary: &RunSummary) {
+        let _ = (cell, summary);
+    }
+}
+
+impl<T: RunObserver + ?Sized> RunObserver for &T {
+    fn on_epoch(&self, cell: &CellSpec, epoch: usize, metrics: &EpochMetrics) -> bool {
+        (**self).on_epoch(cell, epoch, metrics)
+    }
+    fn on_cell(&self, cell: &CellSpec, summary: &RunSummary) {
+        (**self).on_cell(cell, summary)
+    }
+}
+
+/// A runnable experiment session built from a [`Scenario`].
+pub struct Simulation {
+    scenario: Scenario,
+    trace: Arc<TransactionTrace>,
+    cells: Vec<CellSpec>,
+    observers: Vec<Box<dyn RunObserver>>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scenario", &self.scenario.name)
+            .field("trace_txs", &self.trace.len())
+            .field("cells", &self.cells.len())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Validates `scenario` and materialises its trace (synthetic
+    /// generation or CSV load) exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation errors ([`Scenario::validate`]),
+    /// [`Error::Io`] / [`Error::ParseTrace`] from trace loading, and
+    /// [`Error::EmptyTrace`] if the source yields no transactions.
+    pub fn from_scenario(scenario: Scenario) -> Result<Self> {
+        // Validate before materialising: a spec error must not cost a
+        // multi-minute trace generation first.
+        scenario.validate()?;
+        let trace = Arc::new(scenario.trace.materialize()?);
+        Simulation::with_trace(scenario, trace)
+    }
+
+    /// Builds a session over an already-materialised trace — the
+    /// sharing entry point: any number of sessions (strategy variants,
+    /// ablations, repeated grids) can hold clones of one [`Arc`] and
+    /// never regenerate or copy the transactions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation errors and [`Error::EmptyTrace`]
+    /// on an empty trace.
+    pub fn with_trace(scenario: Scenario, trace: Arc<TransactionTrace>) -> Result<Self> {
+        if trace.is_empty() {
+            return Err(Error::EmptyTrace);
+        }
+        let cells = scenario.cells()?;
+        Ok(Simulation {
+            scenario,
+            trace,
+            cells,
+            observers: Vec::new(),
+        })
+    }
+
+    /// Attaches a custom observer (may be called multiple times; the
+    /// stack runs in attachment order).
+    pub fn with_observer(mut self, observer: Box<dyn RunObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The scenario this session runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// A clone of the shared trace handle (cheap: `Arc` bump, no copy).
+    pub fn trace(&self) -> Arc<TransactionTrace> {
+        Arc::clone(&self.trace)
+    }
+
+    /// The expanded cells this session will run, in report order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Runs every cell with its registry strategy
+    /// ([`Strategy::build`]) across the scenario's grid pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell failure in report order — an
+    /// [`Error::Io`] from a `stream-csv` observer sink.
+    pub fn run(&self) -> Result<SimulationReport> {
+        self.run_with_factory(|cell| cell.config.strategy.build(cell.config.params))
+    }
+
+    /// [`Simulation::run`] with a caller-supplied strategy factory —
+    /// the session form of `run_custom`, for mechanisms outside the
+    /// [`Strategy`] registry (ablation policies, experimental
+    /// allocators). The factory is called once per cell, possibly from
+    /// several threads at once; `cell.config.strategy` still labels the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell failure in report order.
+    pub fn run_with_factory<F>(&self, factory: F) -> Result<SimulationReport>
+    where
+        F: Fn(&CellSpec) -> Box<dyn EpochStrategy> + Sync,
+    {
+        // Streaming observers need their directories before workers race
+        // to create files in them.
+        for observer in &self.scenario.observers {
+            if let ObserverSpec::StreamCsv(dir) = observer {
+                fs::create_dir_all(dir).map_err(|e| io_error(dir.display(), &e))?;
+            }
+        }
+        let outcomes = ordered_map(&self.cells, self.scenario.grid_parallelism, |cell| {
+            let mut strategy = factory(cell);
+            self.run_cell(cell, strategy.as_mut())
+        });
+        let mut cells = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            cells.push(outcome?);
+        }
+        Ok(SimulationReport { cells })
+    }
+
+    /// Streams one cell's per-epoch CSV rows to `out`, byte-identical
+    /// to what the `stream-csv` observer writes for the same cell (and
+    /// to the legacy `runner::run_streaming`). The cell's
+    /// [`crate::runner::ExperimentConfig`] — including
+    /// `cell_parallelism` overrides — is honoured as given, which is
+    /// what the determinism gate uses to byte-compare worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on the sink's first failure.
+    pub fn stream_cell(&self, cell: &CellSpec, out: &mut dyn io::Write) -> Result<RunSummary> {
+        crate::runner::run_streaming(&cell.config, &self.trace, out)
+            .map_err(|e| io_error("<stream sink>", &e))
+    }
+
+    /// Runs one cell through the engine, fanning each metric row to the
+    /// whole observer stack in a single pass.
+    fn run_cell(&self, cell: &CellSpec, strategy: &mut dyn EpochStrategy) -> Result<GridCell> {
+        let collect = self.scenario.observers.contains(&ObserverSpec::Collect);
+        let single_point = self.scenario.is_single_point();
+        let mut writers: Vec<(PathBuf, EpochCsvWriter<io::BufWriter<fs::File>>)> = Vec::new();
+        for observer in &self.scenario.observers {
+            if let ObserverSpec::StreamCsv(dir) = observer {
+                let path = dir.join(format!("{}.csv", cell.file_stem(single_point)));
+                let file = fs::File::create(&path).map_err(|e| io_error(path.display(), &e))?;
+                let writer = EpochCsvWriter::new(io::BufWriter::new(file))
+                    .map_err(|e| io_error(path.display(), &e))?;
+                writers.push((path, writer));
+            }
+        }
+
+        let mut per_epoch = Vec::new();
+        let mut io_failure: Option<Error> = None;
+        let summary = engine::run_with_observer(
+            &cell.config,
+            &self.trace,
+            strategy,
+            &mut |epoch, metrics: &EpochMetrics| {
+                if collect {
+                    per_epoch.push(*metrics);
+                }
+                for (path, writer) in &mut writers {
+                    if let Err(e) = writer.write_epoch(metrics) {
+                        io_failure = Some(io_error(path.display(), &e));
+                        return false;
+                    }
+                }
+                self.observers
+                    .iter()
+                    .all(|obs| obs.on_epoch(cell, epoch, metrics))
+            },
+        );
+        if let Some(e) = io_failure {
+            return Err(e);
+        }
+        for (path, writer) in writers {
+            writer.finish().map_err(|e| io_error(path.display(), &e))?;
+        }
+        for obs in &self.observers {
+            obs.on_cell(cell, &summary);
+        }
+        Ok(GridCell {
+            param_label: cell.label.clone(),
+            result: ExperimentResult {
+                strategy: cell.config.strategy,
+                params: cell.config.params,
+                per_epoch,
+                aggregate: summary.aggregate,
+                init_seconds: summary.init_seconds,
+                mean_alloc_seconds: summary.mean_alloc_seconds,
+                mean_input_bytes: summary.mean_input_bytes,
+                total_migrations: summary.total_migrations,
+            },
+        })
+    }
+}
+
+fn io_error(path: impl std::fmt::Display, e: &dyn std::fmt::Display) -> Error {
+    Error::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::Parallelism;
+    use crate::scale::Scale;
+    use crate::scenario::GridAxis;
+    use mosaic_workload::TraceSource;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quick_scenario() -> Scenario {
+        Scenario::new(
+            "session-test",
+            TraceSource::Generated(Scale::quick().workload),
+            Scale::quick().eval_epochs,
+        )
+        .with_base(
+            mosaic_types::SystemParams::builder()
+                .shards(4)
+                .eta(2.0)
+                .tau(Scale::quick().tau)
+                .build()
+                .unwrap(),
+        )
+        .with_strategies([Strategy::Mosaic, Strategy::Random])
+    }
+
+    #[test]
+    fn sessions_share_one_trace_allocation() {
+        let a = Simulation::from_scenario(quick_scenario()).unwrap();
+        let b = Simulation::with_trace(quick_scenario(), a.trace()).unwrap();
+        assert!(Arc::ptr_eq(&a.trace(), &b.trace()));
+        // And grid cells borrow it too: running both sessions never
+        // regenerates (pointer equality is the whole test — generation
+        // is deterministic so values could never differ).
+        assert_eq!(a.run().unwrap().cells.len(), 2);
+        assert_eq!(b.run().unwrap().cells.len(), 2);
+    }
+
+    #[test]
+    fn report_lookup_finds_cells_by_label_and_strategy() {
+        let report = Simulation::from_scenario(quick_scenario())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.labels(), ["k = 4"]);
+        assert!(report.find("k = 4", Strategy::Mosaic).is_some());
+        assert!(report.find("k = 4", Strategy::Metis).is_none());
+        assert!(report.find("k = 16", Strategy::Mosaic).is_none());
+    }
+
+    #[test]
+    fn grid_parallelism_does_not_change_the_report() {
+        let scenario = quick_scenario().with_axis(GridAxis::Shards(vec![2, 4]));
+        let trace = Simulation::from_scenario(scenario.clone()).unwrap().trace();
+        let sequential = Simulation::with_trace(
+            scenario
+                .clone()
+                .with_grid_parallelism(Parallelism::Sequential),
+            Arc::clone(&trace),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let parallel = Simulation::with_trace(
+            scenario.with_grid_parallelism(Parallelism::Threads(4)),
+            trace,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        // Timing fields are wall-clock and run-dependent; everything the
+        // engine computes must be identical.
+        assert_eq!(sequential.cells.len(), parallel.cells.len());
+        for (s, p) in sequential.cells.iter().zip(&parallel.cells) {
+            assert_eq!(s.param_label, p.param_label);
+            assert_eq!(s.result.strategy, p.result.strategy);
+            assert_eq!(s.result.to_csv(), p.result.to_csv());
+            assert_eq!(s.result.aggregate, p.result.aggregate);
+            assert_eq!(s.result.total_migrations, p.result.total_migrations);
+        }
+    }
+
+    #[test]
+    fn custom_observers_see_every_epoch_and_cell() {
+        struct Counter {
+            epochs: AtomicUsize,
+            cells: AtomicUsize,
+        }
+        impl RunObserver for Counter {
+            fn on_epoch(&self, _: &CellSpec, _: usize, _: &EpochMetrics) -> bool {
+                self.epochs.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            fn on_cell(&self, _: &CellSpec, summary: &RunSummary) {
+                assert!(summary.epochs > 0);
+                self.cells.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let observer: &'static Counter = Box::leak(Box::new(Counter {
+            epochs: AtomicUsize::new(0),
+            cells: AtomicUsize::new(0),
+        }));
+        let sim = Simulation::from_scenario(quick_scenario())
+            .unwrap()
+            .with_observer(Box::new(observer));
+        sim.run().unwrap();
+        assert_eq!(observer.cells.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            observer.epochs.load(Ordering::Relaxed),
+            2 * Scale::quick().eval_epochs
+        );
+    }
+
+    #[test]
+    fn aborting_observer_truncates_the_cell() {
+        struct StopAfterOne;
+        impl RunObserver for StopAfterOne {
+            fn on_epoch(&self, _: &CellSpec, epoch: usize, _: &EpochMetrics) -> bool {
+                epoch == 0
+            }
+        }
+        let sim = Simulation::from_scenario(quick_scenario())
+            .unwrap()
+            .with_observer(Box::new(StopAfterOne));
+        let report = sim.run().unwrap();
+        for cell in &report.cells {
+            assert_eq!(cell.result.per_epoch.len(), 2, "{}", cell.param_label);
+        }
+    }
+
+    #[test]
+    fn run_with_factory_relabels_custom_strategies() {
+        use crate::engine::MosaicStrategy;
+        use mosaic_core::policy::StickyPolicy;
+        let sim = Simulation::from_scenario(quick_scenario().with_strategies([Strategy::Mosaic]))
+            .unwrap();
+        let report = sim
+            .run_with_factory(|cell| {
+                Box::new(MosaicStrategy::new(cell.config.params, StickyPolicy))
+            })
+            .unwrap();
+        // Sticky never proposes, so the custom strategy is observably
+        // different from the registry Pilot while keeping its label.
+        assert_eq!(report.cells[0].result.strategy, Strategy::Mosaic);
+        assert_eq!(report.cells[0].result.total_migrations, 0);
+    }
+}

@@ -83,6 +83,29 @@ impl fmt::Display for Strategy {
     }
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = mosaic_types::Error;
+
+    /// Parses a table display name (`"Pilot"`, `"G-TxAllo"`, …), the
+    /// inverse of [`Strategy::name`]. `"Mosaic"` is accepted as an alias
+    /// for the client-driven strategy.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "Mosaic" {
+            return Ok(Strategy::Mosaic);
+        }
+        Strategy::ALL
+            .into_iter()
+            .find(|strategy| strategy.name() == s)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+                mosaic_types::Error::ParseScenario {
+                    line: 0,
+                    message: format!("unknown strategy {s:?}; valid names: {valid:?}"),
+                }
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +116,16 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Strategy::ALL.len());
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for strategy in Strategy::ALL {
+            assert_eq!(strategy.name().parse::<Strategy>().unwrap(), strategy);
+        }
+        assert_eq!("Mosaic".parse::<Strategy>().unwrap(), Strategy::Mosaic);
+        let err = "NoSuchStrategy".parse::<Strategy>().unwrap_err();
+        assert!(err.to_string().contains("unknown strategy"));
     }
 
     #[test]

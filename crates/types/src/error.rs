@@ -39,6 +39,21 @@ pub enum Error {
         /// What went wrong.
         message: String,
     },
+    /// Malformed input while parsing a scenario specification.
+    ParseScenario {
+        /// 1-based line number (0 when no line applies).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An I/O failure while materialising a scenario (trace file,
+    /// scenario file, CSV sink).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
     /// A component was used before required initialisation.
     NotInitialized(&'static str),
 }
@@ -61,6 +76,14 @@ impl fmt::Display for Error {
             Error::ParseTrace { line, message } => {
                 write!(f, "trace parse error at line {line}: {message}")
             }
+            Error::ParseScenario { line, message } => {
+                if *line == 0 {
+                    write!(f, "scenario error: {message}")
+                } else {
+                    write!(f, "scenario parse error at line {line}: {message}")
+                }
+            }
+            Error::Io { path, message } => write!(f, "io error on {path}: {message}"),
             Error::NotInitialized(what) => write!(f, "component not initialised: {what}"),
         }
     }

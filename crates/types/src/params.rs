@@ -162,6 +162,35 @@ impl SystemParams {
         self.eta = eta;
         Ok(self)
     }
+
+    /// Returns a copy with a different epoch length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTau`] if `tau == 0`.
+    pub fn with_tau(mut self, tau: u32) -> Result<Self> {
+        if tau == 0 {
+            return Err(Error::InvalidTau(tau));
+        }
+        self.tau = tau;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different capacity policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLambda`] if a fixed capacity is not
+    /// positive and finite.
+    pub fn with_lambda_policy(mut self, policy: LambdaPolicy) -> Result<Self> {
+        if let LambdaPolicy::Fixed(l) = policy {
+            if !l.is_finite() || l <= 0.0 {
+                return Err(Error::InvalidLambda(l));
+            }
+        }
+        self.lambda = policy;
+        Ok(self)
+    }
 }
 
 /// Builder for [`SystemParams`] (C-BUILDER).
@@ -314,5 +343,14 @@ mod tests {
         assert!(p.with_shards(0).is_err());
         assert!(p.with_eta(0.9).is_err());
         assert_eq!(p.with_eta(10.0).unwrap().eta(), 10.0);
+        assert!(p.with_tau(0).is_err());
+        assert_eq!(p.with_tau(77).unwrap().tau(), 77);
+        assert!(p.with_lambda_policy(LambdaPolicy::Fixed(0.0)).is_err());
+        assert_eq!(
+            p.with_lambda_policy(LambdaPolicy::Fixed(9.5))
+                .unwrap()
+                .lambda_policy(),
+            LambdaPolicy::Fixed(9.5)
+        );
     }
 }

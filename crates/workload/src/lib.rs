@@ -40,12 +40,14 @@
 pub mod config;
 pub mod csv;
 pub mod generator;
+pub mod source;
 pub mod stats;
 pub mod trace;
 pub mod zipf;
 
 pub use config::WorkloadConfig;
 pub use generator::{generate, GeneratedWorkload};
+pub use source::TraceSource;
 pub use stats::TraceStats;
 pub use trace::{EpochWindows, TransactionTrace};
 pub use zipf::ZipfSampler;

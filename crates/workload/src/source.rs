@@ -1,0 +1,115 @@
+//! Where a transaction trace comes from.
+//!
+//! Every experiment consumes a [`TransactionTrace`]; a [`TraceSource`]
+//! is the *description* of one — either a deterministic synthetic
+//! [`WorkloadConfig`] or a CSV file in the [`crate::csv`] interchange
+//! format. Descriptions are cheap, comparable and serialisable, so a
+//! scenario spec can name its input as data and materialise it exactly
+//! once per session.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use mosaic_types::{Error, Result};
+
+use crate::config::WorkloadConfig;
+use crate::generator::generate;
+use crate::trace::TransactionTrace;
+
+/// A declarative description of a transaction trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSource {
+    /// Generate synthetically from a [`WorkloadConfig`] (the trace is a
+    /// pure function of the config, including its seed).
+    Generated(WorkloadConfig),
+    /// Load from a `block,from,to[,kind]` CSV file ([`crate::csv`]) —
+    /// the reduction an Ethereum ETL export produces.
+    Csv(PathBuf),
+}
+
+impl TraceSource {
+    /// A CSV source for `path`.
+    pub fn csv(path: impl Into<PathBuf>) -> Self {
+        TraceSource::Csv(path.into())
+    }
+
+    /// The workload config behind a generated source, if any.
+    pub fn workload(&self) -> Option<&WorkloadConfig> {
+        match self {
+            TraceSource::Generated(config) => Some(config),
+            TraceSource::Csv(_) => None,
+        }
+    }
+
+    /// Produces the trace this source describes. Generation is
+    /// deterministic; loading parses the file once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if a CSV file cannot be opened and
+    /// [`Error::ParseTrace`] if its contents are malformed.
+    pub fn materialize(&self) -> Result<TransactionTrace> {
+        match self {
+            TraceSource::Generated(config) => Ok(generate(config).into_trace()),
+            TraceSource::Csv(path) => {
+                let file = File::open(path).map_err(|e| io_error(path, &e))?;
+                crate::csv::read_trace(BufReader::new(file))
+            }
+        }
+    }
+}
+
+fn io_error(path: &Path, e: &std::io::Error) -> Error {
+    Error::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_source_matches_direct_generation() {
+        let config = WorkloadConfig::small_test(7).with_blocks(40);
+        let source = TraceSource::Generated(config.clone());
+        assert_eq!(source.workload(), Some(&config));
+        let trace = source.materialize().unwrap();
+        assert_eq!(trace, generate(&config).into_trace());
+    }
+
+    #[test]
+    fn csv_source_roundtrips_through_a_file() {
+        let config = WorkloadConfig::small_test(9).with_blocks(30);
+        let trace = generate(&config).into_trace();
+        let mut bytes = Vec::new();
+        crate::csv::write_trace(&trace, &mut bytes).unwrap();
+        let dir = std::env::temp_dir().join("mosaic-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        std::fs::write(&path, bytes).unwrap();
+
+        let source = TraceSource::csv(&path);
+        assert!(source.workload().is_none());
+        let back = source.materialize().unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in back.iter().zip(trace.iter()) {
+            assert_eq!(
+                (a.block, a.from, a.to, a.kind),
+                (b.block, b.from, b.to, b.kind)
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_csv_is_an_io_error() {
+        let err = TraceSource::csv("/nonexistent/mosaic.csv")
+            .materialize()
+            .unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err}");
+        assert!(err.to_string().contains("/nonexistent/mosaic.csv"));
+    }
+}

@@ -1,32 +1,44 @@
 //! Head-to-head comparison of all five allocation strategies on the same
-//! synthetic trace — a miniature of the paper's Tables I–IV.
+//! synthetic trace — a miniature of the paper's Tables I–IV, expressed
+//! as one declarative [`Scenario`] run by a [`Simulation`] session.
 //!
 //! ```text
 //! cargo run --release --example allocation_showdown
 //! MOSAIC_SCALE=default cargo run --release --example allocation_showdown
+//! cargo run --release --example allocation_showdown -- scenarios/quick.scenario
 //! ```
 
 use mosaic::prelude::*;
-use mosaic::sim::{experiments, runner};
+use mosaic::sim::{ObserverSpec, Scenario, Simulation};
+use mosaic::workload::TraceSource;
 
-fn main() {
-    let scale = Scale::from_env();
-    println!(
-        "scale: {} ({} txs over {} blocks)",
-        scale.label,
-        scale.workload.total_txs(),
-        scale.workload.blocks
-    );
-    let trace = generate(&scale.workload).into_trace();
-
-    let params = SystemParams::builder()
-        .shards(8)
-        .eta(2.0)
-        .tau(scale.tau)
-        .build()
-        .expect("valid params");
-
-    let results = experiments::run_strategies(&trace, params, scale.eval_epochs, &Strategy::ALL);
+fn main() -> Result<(), mosaic::types::Error> {
+    // The experiment as data: either a .scenario file from the command
+    // line, or an 8-shard single-point spec at the MOSAIC_SCALE scale.
+    let scenario = match std::env::args().nth(1) {
+        Some(path) => Scenario::load(path)?.with_observers([ObserverSpec::Collect]),
+        None => {
+            let scale = Scale::from_env();
+            Scenario::new(
+                "allocation-showdown",
+                TraceSource::Generated(scale.workload.clone()),
+                scale.eval_epochs,
+            )
+            .with_base(
+                SystemParams::builder()
+                    .shards(8)
+                    .eta(2.0)
+                    .tau(scale.tau)
+                    .build()?,
+            )
+        }
+    };
+    let workload = scenario.workload().cloned();
+    let session = Simulation::from_scenario(scenario)?;
+    if let Some(w) = &workload {
+        println!("workload: {} txs over {} blocks", w.total_txs(), w.blocks);
+    }
+    let report = session.run()?;
 
     let mut table = TextTable::new([
         "strategy",
@@ -37,7 +49,11 @@ fn main() {
         "input bytes",
         "migrations",
     ]);
-    for r in &results {
+    let label = report.labels().into_iter().next().expect("one point");
+    for strategy in Strategy::ALL {
+        let Some(r) = report.find(&label, strategy) else {
+            continue;
+        };
         table.push_row([
             r.strategy.name().to_string(),
             format!("{:.2}%", r.aggregate.cross_ratio * 100.0),
@@ -51,24 +67,20 @@ fn main() {
     println!("{table}");
 
     // The same speed story as Table IV, phrased as a ratio.
-    let pilot = results
-        .iter()
-        .find(|r| r.strategy == Strategy::Mosaic)
-        .expect("mosaic present");
-    let gtxallo = results
-        .iter()
-        .find(|r| r.strategy == Strategy::GTxAllo)
-        .expect("g-txallo present");
-    if pilot.mean_alloc_seconds > 0.0 {
-        println!(
-            "Pilot is {:.0}x faster per decision than G-TxAllo per epoch \
-             ({:.2e} s vs {:.2e} s), using {:.0}x less input",
-            gtxallo.mean_alloc_seconds / pilot.mean_alloc_seconds,
-            pilot.mean_alloc_seconds,
-            gtxallo.mean_alloc_seconds,
-            gtxallo.mean_input_bytes / pilot.mean_input_bytes.max(1.0),
-        );
+    if let (Some(pilot), Some(gtxallo)) = (
+        report.find(&label, Strategy::Mosaic),
+        report.find(&label, Strategy::GTxAllo),
+    ) {
+        if pilot.mean_alloc_seconds > 0.0 {
+            println!(
+                "Pilot is {:.0}x faster per decision than G-TxAllo per epoch \
+                 ({:.2e} s vs {:.2e} s), using {:.0}x less input",
+                gtxallo.mean_alloc_seconds / pilot.mean_alloc_seconds,
+                pilot.mean_alloc_seconds,
+                gtxallo.mean_alloc_seconds,
+                gtxallo.mean_input_bytes / pilot.mean_input_bytes.max(1.0),
+            );
+        }
     }
-    // Keep the unused-variable lint honest about runner re-exports.
-    let _ = runner::ExperimentConfig::new(params, Strategy::Random, 1);
+    Ok(())
 }

@@ -8,6 +8,8 @@
 //! ```
 
 use mosaic::prelude::*;
+use mosaic::sim::{Scenario, Simulation};
+use mosaic::workload::TraceSource;
 
 fn main() -> Result<(), mosaic::types::Error> {
     let params = SystemParams::builder().shards(4).eta(2.0).build()?;
@@ -79,6 +81,31 @@ fn main() -> Result<(), mosaic::types::Error> {
         "total Pilot input: {} bytes (vs a {}-GB ledger for miner-driven methods)",
         wallet.input_size_bytes(k),
         1.44,
+    );
+
+    // Zoom out: every client on a synthetic network running this exact
+    // wallet logic — one single-point scenario, Mosaic only.
+    let scale = Scale::quick();
+    let scenario = Scenario::new(
+        "client-wallet-network",
+        TraceSource::Generated(scale.workload.clone()),
+        scale.eval_epochs,
+    )
+    .with_base(
+        SystemParams::builder()
+            .shards(4)
+            .eta(2.0)
+            .tau(scale.tau)
+            .build()?,
+    )
+    .with_strategies([Strategy::Mosaic]);
+    let report = Simulation::from_scenario(scenario)?.run()?;
+    let r = &report.cells[0].result;
+    println!(
+        "network-wide, every wallet deciding like this one: cross-ratio {:.2}%, \
+         mean Pilot input {} per client",
+        r.aggregate.cross_ratio * 100.0,
+        mosaic::metrics::data_size::human_bytes(r.mean_input_bytes),
     );
     Ok(())
 }

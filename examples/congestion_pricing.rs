@@ -2,7 +2,9 @@
 //! is a simplification — "one can design a more specialized function f
 //! for the specific needs of applications". This demo compares how the
 //! same client decides under linear, superlinear, and EIP-1559-style
-//! congestion pricing.
+//! congestion pricing, then runs each schedule **network-wide** as a
+//! custom [`ClientPolicy`] through a [`Simulation`] session — four
+//! strategy variants sharing one materialised trace.
 //!
 //! ```text
 //! cargo run --release --example congestion_pricing
@@ -11,17 +13,30 @@
 use mosaic::core::fees::{
     decide_with_schedule, AffineFee, Eip1559Fee, FeeSchedule, LinearFee, SuperlinearFee,
 };
+use mosaic::core::policy::{ClientPolicy, PolicyContext};
 use mosaic::prelude::*;
+use mosaic::sim::{MosaicStrategy, Scenario, Simulation};
+use mosaic::workload::TraceSource;
 
-fn main() {
-    // A client whose interactions slightly favour the *hottest* shard:
-    // the interesting regime where pricing decides.
-    let psi = [6.0, 5.0, 1.0, 0.0];
-    let omega = [400.0, 150.0, 120.0, 90.0];
-    let eta = 2.0;
-    let current = ShardId::new(2);
+/// A Mosaic client whose Pilot prices congestion through an arbitrary
+/// fee schedule — any [`FeeSchedule`] is a [`ClientPolicy`]. The
+/// schedule sits behind an `Arc` so one instance serves every client
+/// the session's strategy factory creates.
+struct FeePolicy(std::sync::Arc<dyn FeeSchedule + Send + Sync>);
 
-    let schedules: Vec<Box<dyn FeeSchedule>> = vec![
+impl ClientPolicy for FeePolicy {
+    fn name(&self) -> &'static str {
+        "FeeSchedule"
+    }
+
+    fn choose(&self, ctx: &PolicyContext<'_>) -> (ShardId, f64) {
+        let d = decide_with_schedule(self.0.as_ref(), ctx.eta, ctx.psi, ctx.omega, ctx.current);
+        (d.target, d.gain)
+    }
+}
+
+fn schedules() -> Vec<Box<dyn FeeSchedule + Send + Sync>> {
+    vec![
         Box::new(LinearFee),
         Box::new(AffineFee {
             base: 50.0,
@@ -33,10 +48,19 @@ fn main() {
             target: 190.0,
             max_change: 4.0,
         }),
-    ];
+    ]
+}
+
+fn main() -> Result<(), mosaic::types::Error> {
+    // Part 1 — one client's view: how each schedule prices the same
+    // slightly-hub-favouring interaction pattern.
+    let psi = [6.0, 5.0, 1.0, 0.0];
+    let omega = [400.0, 150.0, 120.0, 90.0];
+    let eta = 2.0;
+    let current = ShardId::new(2);
 
     let mut table = TextTable::new(["schedule", "prices ξ", "target", "gain"]);
-    for schedule in &schedules {
+    for schedule in &schedules() {
         let xi = schedule.price_vector(&omega);
         let decision = decide_with_schedule(schedule.as_ref(), eta, &psi, &omega, current);
         table.push_row([
@@ -54,9 +78,52 @@ fn main() {
     }
     println!("client Ψ = {psi:?}, Ω = {omega:?}, η = {eta}, currently in {current}");
     println!("{table}");
+
+    // Part 2 — every client on the network runs that schedule: one
+    // single-point scenario per schedule, all sessions sharing the same
+    // Arc'd trace (generated exactly once).
+    let scale = Scale::quick();
+    let scenario = Scenario::new(
+        "congestion-pricing",
+        TraceSource::Generated(scale.workload.clone()),
+        scale.eval_epochs,
+    )
+    .with_base(
+        SystemParams::builder()
+            .shards(4)
+            .eta(eta)
+            .tau(scale.tau)
+            .build()?,
+    )
+    .with_strategies([Strategy::Mosaic]);
+    let first = Simulation::from_scenario(scenario.clone())?;
+    let trace = first.trace();
+
+    let mut table = TextTable::new(["schedule", "cross-ratio", "throughput", "deviation"]);
+    for schedule in schedules() {
+        let schedule: std::sync::Arc<dyn FeeSchedule + Send + Sync> =
+            std::sync::Arc::from(schedule);
+        let session = Simulation::with_trace(scenario.clone(), trace.clone())?;
+        let report = session.run_with_factory(|cell| {
+            Box::new(MosaicStrategy::new(
+                cell.config.params,
+                FeePolicy(std::sync::Arc::clone(&schedule)),
+            ))
+        })?;
+        let r = &report.cells[0].result;
+        table.push_row([
+            schedule.name().to_string(),
+            format!("{:.2}%", r.aggregate.cross_ratio * 100.0),
+            format!("{:.2}", r.aggregate.normalized_throughput),
+            format!("{:.2}", r.aggregate.workload_deviation),
+        ]);
+    }
+    println!("network-wide, every client pricing congestion through the schedule:");
+    println!("{table}");
     println!(
-        "Steeper congestion pricing shifts the decision away from hot\n\
-         shards even when interactions mildly favour them — the knob a\n\
-         deployment can use to trade locality against load spreading."
+        "Steeper congestion pricing shifts decisions away from hot shards\n\
+         even when interactions mildly favour them — the knob a deployment\n\
+         can use to trade locality against load spreading."
     );
+    Ok(())
 }

@@ -1,32 +1,42 @@
 //! The Table V experiment as a demo: how much does knowing a fraction β
-//! of your future transactions improve your allocation?
+//! of your future transactions improve your allocation? One scenario
+//! with a β grid axis — the trace is generated once and shared across
+//! all five cells by the [`Simulation`] session.
 //!
 //! ```text
 //! cargo run --release --example future_knowledge
 //! ```
 
 use mosaic::prelude::*;
-use mosaic::sim::runner;
+use mosaic::sim::{GridAxis, Scenario, Simulation};
+use mosaic::workload::TraceSource;
 
 fn main() -> Result<(), mosaic::types::Error> {
     let scale = Scale::quick();
-    let trace = generate(&scale.workload).into_trace();
-
-    let mut table = TextTable::new(["beta", "cross-ratio", "throughput", "deviation"]);
-    for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let params = SystemParams::builder()
+    let scenario = Scenario::new(
+        "future-knowledge",
+        TraceSource::Generated(scale.workload.clone()),
+        scale.eval_epochs,
+    )
+    .with_base(
+        SystemParams::builder()
             .shards(4)
             .eta(2.0)
             .tau(scale.tau)
-            .beta(beta)
-            .build()?;
-        let config = ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs);
-        let result = runner::run(&config, &trace);
+            .build()?,
+    )
+    .with_axis(GridAxis::Beta(vec![0.0, 0.25, 0.5, 0.75, 1.0]))
+    .with_strategies([Strategy::Mosaic]);
+
+    let report = Simulation::from_scenario(scenario)?.run()?;
+
+    let mut table = TextTable::new(["beta", "cross-ratio", "throughput", "deviation"]);
+    for cell in &report.cells {
         table.push_row([
-            format!("{beta}"),
-            format!("{:.2}%", result.aggregate.cross_ratio * 100.0),
-            format!("{:.2}", result.aggregate.normalized_throughput),
-            format!("{:.2}", result.aggregate.workload_deviation),
+            cell.param_label.clone(),
+            format!("{:.2}%", cell.result.aggregate.cross_ratio * 100.0),
+            format!("{:.2}", cell.result.aggregate.normalized_throughput),
+            format!("{:.2}", cell.result.aggregate.workload_deviation),
         ]);
     }
     println!("{table}");

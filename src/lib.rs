@@ -59,29 +59,42 @@
 //! [`partition::GlobalAllocator`] is an `EpochStrategy` for free via a
 //! blanket impl.
 //!
-//! To evaluate a new mechanism, implement the trait and pass it to
-//! [`sim::runner::run_custom`] — or add a
-//! [`sim::Strategy`]-registry entry ([`sim::Strategy::build`]) to put
-//! it in every table. Experiment grids run their independent cells on
-//! an order-stable worker pool ([`sim::parallel`]); results are
-//! deterministic and identical at every parallelism level.
+//! To evaluate a new mechanism, implement the trait and run it through
+//! a [`sim::Simulation`] session ([`sim::Simulation::run_with_factory`])
+//! — or add a [`sim::Strategy`]-registry entry ([`sim::Strategy::build`])
+//! to put it in every table. Experiments themselves are declarative,
+//! serializable [`sim::Scenario`] specs (checked in as `.scenario`
+//! files under `scenarios/`): a scenario names the trace source, the
+//! parameter grid, the strategy set, both parallelism levels and the
+//! observer stack; the session materialises the trace **once**, shares
+//! it across every grid cell behind an `Arc`, and runs the independent
+//! cells on an order-stable worker pool ([`sim::parallel`]). Results
+//! are deterministic and identical at every parallelism level.
 //!
 //! ```
 //! use mosaic::prelude::*;
-//! use mosaic::sim::runner::{run_custom, ExperimentConfig};
-//! use mosaic::sim::{MosaicStrategy, Scale, Strategy};
+//! use mosaic::sim::{MosaicStrategy, Simulation};
+//! use mosaic::workload::TraceSource;
 //!
 //! # fn main() -> Result<(), mosaic::types::Error> {
 //! let scale = Scale::quick();
-//! let trace = generate(&scale.workload).into_trace();
-//! let params = SystemParams::builder().shards(4).tau(scale.tau).build()?;
-//! let config = ExperimentConfig::new(params, Strategy::Mosaic, scale.eval_epochs);
+//! let scenario = Scenario::new(
+//!     "custom-policy",
+//!     TraceSource::Generated(scale.workload.clone()),
+//!     scale.eval_epochs,
+//! )
+//! .with_base(SystemParams::builder().shards(4).tau(scale.tau).build()?)
+//! .with_strategies([Strategy::Mosaic]);
 //!
 //! // Any ClientPolicy slots into the client-driven wrapper; any custom
 //! // EpochStrategy impl can be driven the same way.
-//! let mut strategy = MosaicStrategy::new(params, mosaic::core::policy::PilotPolicy);
-//! let result = run_custom(&config, &trace, &mut strategy);
-//! assert_eq!(result.per_epoch.len(), scale.eval_epochs);
+//! let report = Simulation::from_scenario(scenario)?.run_with_factory(|cell| {
+//!     Box::new(MosaicStrategy::new(
+//!         cell.config.params,
+//!         mosaic::core::policy::PilotPolicy,
+//!     ))
+//! })?;
+//! assert_eq!(report.cells[0].result.per_epoch.len(), scale.eval_epochs);
 //! # Ok(())
 //! # }
 //! ```
@@ -108,7 +121,8 @@ pub mod prelude {
     pub use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams, TextTable};
     pub use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
     pub use mosaic_sim::{
-        EpochStrategy, ExperimentConfig, ExperimentResult, Parallelism, Scale, Strategy,
+        EpochStrategy, ExperimentConfig, ExperimentResult, Parallelism, Scale, Scenario,
+        Simulation, Strategy,
     };
     pub use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
     pub use mosaic_txgraph::{GraphBuilder, TxGraph};

@@ -1,0 +1,163 @@
+//! Golden equivalence: `Simulation::from_scenario` reproduces the
+//! legacy entry points — `runner::run`, `runner::run_streaming`, and the
+//! hand-wired effectiveness grid — byte-for-byte on the same seed, and
+//! the checked-in `scenarios/` files are exactly their presets.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mosaic::prelude::*;
+use mosaic::sim::runner;
+use mosaic::sim::{experiments, ObserverSpec, Scenario, Simulation};
+
+fn legacy_grid(scale: &Scale, trace: &TransactionTrace) -> Vec<experiments::GridCell> {
+    // The pre-scenario oracle: the hand-wired parameter grid driven cell
+    // by cell through `runner::run`, exactly as `effectiveness_grid`
+    // used to do.
+    let mut cells = Vec::new();
+    for (label, params) in experiments::parameter_sets(scale.tau) {
+        for strategy in Strategy::ALL {
+            cells.push(experiments::GridCell {
+                param_label: label.clone(),
+                result: runner::run(
+                    &ExperimentConfig::new(params, strategy, scale.eval_epochs),
+                    trace,
+                ),
+            });
+        }
+    }
+    cells
+}
+
+#[test]
+fn scenario_grid_reproduces_legacy_manual_loop() {
+    let scale = Scale::quick();
+    let trace = generate(&scale.workload).into_trace();
+    let report = Simulation::from_scenario(Scenario::effectiveness(&scale))
+        .unwrap()
+        .run()
+        .unwrap();
+    let legacy = legacy_grid(&scale, &trace);
+    assert_eq!(report.cells.len(), legacy.len());
+    for (cell, oracle) in report.cells.iter().zip(&legacy) {
+        assert_eq!(cell.param_label, oracle.param_label);
+        assert_eq!(cell.result.strategy, oracle.result.strategy);
+        assert_eq!(
+            cell.result.to_csv(),
+            oracle.result.to_csv(),
+            "{} / {}: scenario CSV diverged from legacy runner::run",
+            cell.param_label,
+            cell.result.strategy
+        );
+        assert_eq!(cell.result.aggregate, oracle.result.aggregate);
+        assert_eq!(cell.result.total_migrations, oracle.result.total_migrations);
+    }
+}
+
+#[test]
+fn scenario_stream_csv_matches_legacy_run_streaming() {
+    let scale = Scale::quick();
+    let trace = Arc::new(generate(&scale.workload).into_trace());
+    let dir = std::env::temp_dir().join("mosaic-scenario-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // full_protocol preset = the old full_run loop: base point, every
+    // strategy, one streamed CSV per strategy.
+    let scenario =
+        Scenario::full_protocol(&scale).with_observers([ObserverSpec::StreamCsv(dir.clone())]);
+    let params = scenario.base;
+    Simulation::with_trace(scenario, Arc::clone(&trace))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    for strategy in Strategy::ALL {
+        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs);
+        let mut legacy: Vec<u8> = Vec::new();
+        runner::run_streaming(&config, &trace, &mut legacy).unwrap();
+        let path = dir.join(format!("{}.csv", strategy.name().to_lowercase()));
+        let streamed = std::fs::read(&path).unwrap();
+        assert_eq!(
+            streamed, legacy,
+            "{strategy}: scenario stream-csv file diverged from legacy run_streaming"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+/// The acceptance gate of the scenario redesign: a checked-in
+/// `.scenario` file, loaded and run via `Simulation::from_scenario`
+/// only, reproduces the Table I effectiveness grid byte-identically to
+/// the pre-scenario pipeline on the same seed.
+#[test]
+fn checked_in_effectiveness_scenario_reproduces_the_table1_grid() {
+    let scale = Scale::quick();
+    let scenario = Scenario::load(scenarios_dir().join("effectiveness-quick.scenario")).unwrap();
+    assert_eq!(scenario, Scenario::effectiveness(&scale));
+
+    let report = Simulation::from_scenario(scenario).unwrap().run().unwrap();
+    let trace = generate(&scale.workload).into_trace();
+    let legacy = legacy_grid(&scale, &trace);
+
+    for (cell, oracle) in report.cells.iter().zip(&legacy) {
+        assert_eq!(cell.result.to_csv(), oracle.result.to_csv());
+    }
+    assert_eq!(
+        experiments::table1(&report.cells).to_string(),
+        experiments::table1(&legacy).to_string(),
+        "Table I rendered from the scenario file diverged from the legacy grid"
+    );
+}
+
+#[test]
+fn checked_in_scenario_files_are_canonical_presets() {
+    let pinned = [
+        ("quick.scenario", Scenario::full_protocol(&Scale::quick())),
+        (
+            "default.scenario",
+            Scenario::full_protocol(&Scale::default_scale()),
+        ),
+        ("full.scenario", Scenario::full_protocol(&Scale::full())),
+        (
+            "effectiveness-quick.scenario",
+            Scenario::effectiveness(&Scale::quick()),
+        ),
+        (
+            "effectiveness-default.scenario",
+            Scenario::effectiveness(&Scale::default_scale()),
+        ),
+        (
+            "beta-sweep-quick.scenario",
+            Scenario::beta_sweep(&Scale::quick()),
+        ),
+        (
+            "ablation-default.scenario",
+            experiments::ablation_base(&Scale::default_scale()),
+        ),
+    ];
+    for (file, preset) in &pinned {
+        let text = std::fs::read_to_string(scenarios_dir().join(file)).unwrap();
+        assert_eq!(
+            text,
+            preset.to_text(),
+            "{file} drifted from its preset; regenerate with the `scenario print` tool"
+        );
+        assert_eq!(&Scenario::parse(&text).unwrap(), preset);
+    }
+    // Every checked-in spec is pinned — a new file must come with a pin.
+    let mut found: Vec<String> = std::fs::read_dir(scenarios_dir())
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.ends_with(".scenario").then_some(name)
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = pinned.iter().map(|(f, _)| f.to_string()).collect();
+    expected.sort();
+    assert_eq!(found, expected);
+}

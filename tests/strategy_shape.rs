@@ -9,18 +9,32 @@
 //! * throughput ordering follows the cross-shard ratio ordering.
 
 use mosaic::prelude::*;
-use mosaic::sim::{experiments, Scale};
+use mosaic::sim::Simulation;
+use mosaic::workload::TraceSource;
 
 fn quick_results(k: u16) -> Vec<ExperimentResult> {
     let scale = Scale::quick();
-    let trace = generate(&scale.workload).into_trace();
-    let params = SystemParams::builder()
-        .shards(k)
-        .eta(2.0)
-        .tau(scale.tau)
-        .build()
-        .unwrap();
-    experiments::run_strategies(&trace, params, scale.eval_epochs, &Strategy::ALL)
+    let scenario = Scenario::new(
+        format!("strategy-shape-k{k}"),
+        TraceSource::Generated(scale.workload.clone()),
+        scale.eval_epochs,
+    )
+    .with_base(
+        SystemParams::builder()
+            .shards(k)
+            .eta(2.0)
+            .tau(scale.tau)
+            .build()
+            .unwrap(),
+    );
+    Simulation::from_scenario(scenario)
+        .unwrap()
+        .run()
+        .unwrap()
+        .cells
+        .into_iter()
+        .map(|cell| cell.result)
+        .collect()
 }
 
 fn result(results: &[ExperimentResult], s: Strategy) -> &ExperimentResult {
