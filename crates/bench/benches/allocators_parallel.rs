@@ -7,8 +7,15 @@
 //! repository root so the perf trajectory is tracked across PRs
 //! (`bench_check` gates CI on it). The file records the worker and CPU
 //! counts of the measuring machine: a thread speedup is only meaningful
-//! when `cpus > 1`, and `bench_check` skips the absolute speedup gate
-//! otherwise (single-core boxes still regression-check the ratios).
+//! when `cpus > 2`, and `bench_check` skips the absolute speedup gate
+//! otherwise (small boxes still regression-check the ratios).
+//!
+//! The parallel side dispatches on the persistent worker pool
+//! (`mosaic_metrics::parallel`): workers are spawned once on the first
+//! parallel call and reused across every size step, so the timings
+//! reflect barrier wake-ups, not thread creation. The smallest step
+//! sits near the adaptive sequential cutoff — set `MOSAIC_PAR_CUTOFF=1`
+//! to force the pool on everywhere when profiling it.
 //!
 //! ```text
 //! cargo bench -p mosaic-bench --bench allocators_parallel            # full

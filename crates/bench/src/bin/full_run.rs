@@ -12,12 +12,13 @@
 //! hardware speed.
 //!
 //! With `--check-determinism` no files are written: every cell runs
-//! **twice** through [`Simulation::stream_cell`] — `cell_parallelism` 1
-//! versus a thread count beyond the machine's cores — and the two CSV
-//! byte streams are compared. Any difference exits non-zero; this is
-//! the end-to-end enforcement of the allocators'
-//! parallel-equals-sequential contract, exercised through the scenario
-//! parser and session path CI actually ships.
+//! through [`Simulation::stream_cell`] at a worker matrix —
+//! `cell_parallelism` 1 vs 2 vs a thread count beyond the machine's
+//! cores, with the adaptive sequential cutoff disabled so the pool
+//! engages at every scale — and the CSV byte streams are compared. Any
+//! difference exits non-zero; this is the end-to-end enforcement of the
+//! allocators' parallel-equals-sequential contract, exercised through
+//! the scenario parser and session path CI actually ships.
 //!
 //! ```text
 //! cargo run -p mosaic-bench --release --bin full_run -- --scenario scenarios/full.scenario
@@ -35,18 +36,26 @@ use mosaic_sim::engine::RunSummary;
 use mosaic_sim::scenario::CellSpec;
 use mosaic_sim::{ObserverSpec, Parallelism, RunObserver, Scale, Scenario, Simulation, Strategy};
 
-/// Runs every cell twice through the session (`cell_parallelism` 1 vs
-/// max) and fails on any CSV byte difference. Returns `(checked,
-/// divergent)` cell counts — a gate that compared nothing must not pass.
+/// Runs every cell through the session at a matrix of worker counts
+/// (`cell_parallelism` 1 vs 2 vs max) and fails on any CSV byte
+/// difference. Returns `(checked, divergent)` cell counts — a gate that
+/// compared nothing must not pass.
 fn check_determinism(sim: &Simulation) -> (usize, usize) {
+    // The gate must exercise the pool even at scales below the adaptive
+    // sequential cutoff — byte-identity is the contract at every size.
+    mosaic_sim::parallel::set_par_cutoff(1);
     // Strictly more workers than the machine has cores (2x, minimum 4),
     // so the threaded code paths engage even on single-core runners AND
     // the oversubscribed-scheduling case is exercised on every runner.
+    // The intermediate 2-worker level catches bugs that only show up
+    // when lane boundaries move (e.g. chunk-splitting off-by-ones that
+    // max-worker runs happen to mask).
     let max_workers = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
         .saturating_mul(2)
         .max(4);
+    let worker_levels = [2usize, max_workers];
     let mut checked = 0usize;
     let mut divergent = 0usize;
     for cell in sim.cells() {
@@ -61,24 +70,30 @@ fn check_determinism(sim: &Simulation) -> (usize, usize) {
             bytes
         };
         let sequential = stream_at(Parallelism::Threads(1));
-        let parallel = stream_at(Parallelism::Threads(max_workers));
-        if sequential == parallel {
+        let mut cell_ok = true;
+        for workers in worker_levels {
+            let parallel = stream_at(Parallelism::Threads(workers));
+            if sequential != parallel {
+                cell_ok = false;
+                divergent += 1;
+                let first_diff = sequential
+                    .iter()
+                    .zip(&parallel)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| sequential.len().min(parallel.len()));
+                eprintln!(
+                    "{name:<20} DIVERGED at {workers} workers: first differing byte \
+                     at offset {first_diff} ({} vs {} bytes total)",
+                    sequential.len(),
+                    parallel.len(),
+                );
+                break;
+            }
+        }
+        if cell_ok {
             println!(
-                "{name:<20} OK: {} CSV bytes identical at 1 vs {max_workers} workers",
+                "{name:<20} OK: {} CSV bytes identical at 1 vs 2 vs {max_workers} workers",
                 sequential.len(),
-            );
-        } else {
-            divergent += 1;
-            let first_diff = sequential
-                .iter()
-                .zip(&parallel)
-                .position(|(a, b)| a != b)
-                .unwrap_or_else(|| sequential.len().min(parallel.len()));
-            eprintln!(
-                "{name:<20} DIVERGED: first differing byte at offset {first_diff} \
-                 ({} vs {} bytes total)",
-                sequential.len(),
-                parallel.len(),
             );
         }
     }
@@ -149,7 +164,7 @@ fn main() {
     }
     print_header(
         if check {
-            "Determinism gate (cell_parallelism 1 vs max, byte-compared CSVs)"
+            "Determinism gate (cell_parallelism 1 vs 2 vs max, byte-compared CSVs)"
         } else {
             "Full-protocol streaming run (per-epoch CSV per cell)"
         },

@@ -1,0 +1,103 @@
+//! The persistent worker pool must be invisible to callers: a pool
+//! reused across many successive parallel calls produces byte-identical
+//! results to a fresh pool and to the sequential path, and a panicking
+//! worker closure propagates to the caller without deadlocking the
+//! barrier or poisoning the pool for later calls.
+
+use mosaic_metrics::parallel::{
+    chunked_scan_commit, map_indexed, set_par_cutoff, thread_pool_reset, thread_pool_workers,
+    Parallelism,
+};
+use proptest::prelude::*;
+
+/// Unit inputs here are far below the production cutoff by design.
+fn force_parallel() {
+    set_par_cutoff(1);
+}
+
+/// One mixed workload: a `map_indexed` sweep feeding a
+/// `chunked_scan_commit` walk whose commit fold is order-sensitive
+/// (`total = total * 31 + term`), so any lane mix-up, dropped item or
+/// out-of-order commit in the pool changes the bytes.
+fn workload(values: &[u64], chunk: usize, parallelism: Parallelism) -> (Vec<u64>, u64) {
+    let squares = map_indexed(values.len(), parallelism, |i| {
+        values[i].wrapping_mul(values[i])
+    });
+    let mut total = 0u64;
+    chunked_scan_commit(
+        &mut total,
+        values.len(),
+        chunk.max(1),
+        parallelism,
+        || (),
+        |(), _total: &u64, i| squares[i] % 97,
+        |total, i, term: u64| {
+            *total = total.wrapping_mul(31).wrapping_add(term ^ i as u64);
+        },
+    );
+    (squares, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Many successive calls on one reused pool == fresh pool per call
+    /// == sequential, for arbitrary inputs, chunk and worker counts.
+    #[test]
+    fn reused_pool_is_byte_identical(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        chunk in 1usize..64,
+        workers in 2usize..9,
+        calls in 1usize..5,
+    ) {
+        force_parallel();
+        let sequential = workload(&values, chunk, Parallelism::Sequential);
+
+        // Fresh pool: reset, then run once.
+        thread_pool_reset();
+        let fresh = workload(&values, chunk, Parallelism::Threads(workers));
+        prop_assert_eq!(&fresh, &sequential);
+
+        // Reused pool: keep calling on the same (now warm) pool.
+        for call in 0..calls {
+            let reused = workload(&values, chunk, Parallelism::Threads(workers));
+            prop_assert_eq!(&reused, &sequential, "call = {}", call);
+        }
+    }
+}
+
+/// A panicking scoring closure must propagate to the caller (no
+/// deadlocked barrier), and the pool must stay usable — later calls on
+/// the same thread still match the sequential oracle.
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    force_parallel();
+    thread_pool_reset();
+    let values: Vec<u64> = (0..500).collect();
+    let par = Parallelism::Threads(4);
+
+    // Warm the pool and remember its size.
+    let baseline = workload(&values, 16, par);
+    let spawned = thread_pool_workers();
+    assert!(spawned > 0, "pool should be warm");
+
+    for panicking_item in [0usize, 250, 499] {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_indexed(values.len(), par, |i| {
+                assert!(i != panicking_item, "boom at {i}");
+                values[i]
+            })
+        }));
+        assert!(caught.is_err(), "panic at {panicking_item} must propagate");
+    }
+
+    // Same pool, no respawn, still correct.
+    assert_eq!(
+        thread_pool_workers(),
+        spawned,
+        "panic must not kill workers"
+    );
+    let after = workload(&values, 16, par);
+    assert_eq!(after, baseline, "pool must stay correct after a panic");
+    assert_eq!(after, workload(&values, 16, Parallelism::Sequential));
+}

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mosaic_metrics::parallel::{chunked_scan_commit, scan_chunk_size, Parallelism};
+use mosaic_metrics::parallel::{chunked_scan_commit_slices, scan_chunk_size, Parallelism};
 use mosaic_txgraph::{NodeId, TxGraph};
 use mosaic_types::hash::FnvHashMap;
 use mosaic_types::{AccountShardMap, ShardId};
@@ -45,9 +45,25 @@ impl Default for LabelPropagation {
     }
 }
 
-/// Scores `v`'s connectivity per neighbouring label into `entries`,
-/// reusing the caller's histogram scratch (one per worker — never an
-/// allocation per node).
+/// Appends `v`'s connectivity-per-label entries onto `out`, reusing the
+/// caller's histogram scratch (one per worker — never an allocation per
+/// node). Appending rather than clearing lets the parallel path land
+/// every node's entries in one flat per-lane arena.
+fn score_labels_into(
+    graph: &TxGraph,
+    label: &[u32],
+    v: usize,
+    scratch: &mut FnvHashMap<u32, f64>,
+    out: &mut Vec<(u32, f64)>,
+) {
+    scratch.clear();
+    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+        *scratch.entry(label[nb.index()]).or_default() += w as f64;
+    }
+    out.extend(scratch.iter().map(|(&l, &c)| (l, c)));
+}
+
+/// Scores `v`'s connectivity per neighbouring label into `entries`.
 fn score_labels(
     graph: &TxGraph,
     label: &[u32],
@@ -55,12 +71,8 @@ fn score_labels(
     scratch: &mut FnvHashMap<u32, f64>,
     entries: &mut Vec<(u32, f64)>,
 ) {
-    scratch.clear();
-    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
-        *scratch.entry(label[nb.index()]).or_default() += w as f64;
-    }
     entries.clear();
-    entries.extend(scratch.iter().map(|(&l, &c)| (l, c)));
+    score_labels_into(graph, label, v, scratch, entries);
 }
 
 /// The relabel decision shared verbatim by the sequential oracle and the
@@ -179,33 +191,38 @@ impl LabelPropagation {
                 moves: 0,
             };
             let chunk = scan_chunk_size(n, self.parallelism);
+            // Live rescan buffers for stale histograms — the arena
+            // payload is immutable by the time commit sees it.
             let mut live_scratch: FnvHashMap<u32, f64> = FnvHashMap::default();
+            let mut live_entries: Vec<(u32, f64)> = Vec::new();
             for _ in 0..self.rounds {
                 let moves_before = state.moves;
-                chunked_scan_commit(
+                chunked_scan_commit_slices(
                     &mut state,
                     n,
                     chunk,
                     self.parallelism,
                     FnvHashMap::<u32, f64>::default,
-                    |scratch, s: &SweepState, i| {
+                    |scratch, s: &SweepState, i, arena: &mut Vec<(u32, f64)>| {
                         let v = order[i] as usize;
-                        let mut entries = Vec::new();
-                        score_labels(graph, s.label, v, scratch, &mut entries);
-                        (s.moves, entries)
+                        score_labels_into(graph, s.label, v, scratch, arena);
+                        s.moves
                     },
-                    |s, i, (snap, mut entries)| {
+                    |s, i, snap, entries| {
                         let v = order[i] as usize;
                         // Stale iff a neighbour was relabelled after the
                         // snapshot was scored.
-                        if s.moves != snap
+                        let entries: &[(u32, f64)] = if s.moves != snap
                             && graph
                                 .neighbors(NodeId::new(v as u32))
                                 .any(|(nb, _)| s.stamp[nb.index()] > snap)
                         {
-                            score_labels(graph, s.label, v, &mut live_scratch, &mut entries);
-                        }
-                        if commit_label_move(v, &entries, &dv, cap, s.label, s.label_weight) {
+                            score_labels(graph, s.label, v, &mut live_scratch, &mut live_entries);
+                            &live_entries
+                        } else {
+                            entries
+                        };
+                        if commit_label_move(v, entries, &dv, cap, s.label, s.label_weight) {
                             s.moves += 1;
                             s.stamp[v] = s.moves;
                         }

@@ -18,23 +18,30 @@
 //! balance) — exactly the objective mix the paper attributes to the
 //! Metis-based allocation baselines.
 //!
-//! # Parallelism
+//! # Parallelism and layout
 //!
 //! The hot scans — the heavy-edge-matching candidate search, the coarse
 //! adjacency aggregation and the refinement gain vectors — fan out over
-//! the order-stable pool ([`mosaic_metrics::parallel`]) when
-//! [`MetisConfig::parallelism`] allows; every state mutation is replayed
-//! sequentially in input order with stale scores recomputed inline, so
-//! the partition is **bit-identical** to the sequential run at any
-//! worker count (proptested in `tests/parallel_equivalence.rs`).
+//! the persistent barrier-synchronised pool
+//! ([`mosaic_metrics::parallel`]) when [`MetisConfig::parallelism`]
+//! allows; every state mutation is replayed sequentially in input order
+//! with stale scores recomputed inline, so the partition is
+//! **bit-identical** to the sequential run at any worker count
+//! (proptested in `tests/parallel_equivalence.rs`). Every coarsening
+//! level stores its adjacency in flat CSR lanes ([`WorkGraph`]:
+//! contiguous `u32` neighbour ids and `u64` weights), so the scoring
+//! loops stream branch-light over contiguous memory instead of chasing
+//! one `Vec` per node, and refinement gain vectors land in the sweep's
+//! flat per-worker arenas ([`chunked_scan_commit_slices`]) rather than
+//! per-node allocations.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mosaic_metrics::parallel::{
-    chunked_scan_commit, map_indexed, map_indexed_scratch, scan_chunk_size, Parallelism,
+    chunked_scan_commit, chunked_scan_commit_slices, scan_chunk_size, Parallelism,
 };
-use mosaic_txgraph::{NodeId, TxGraph};
+use mosaic_txgraph::TxGraph;
 use mosaic_types::hash::FnvHashMap;
 use mosaic_types::{AccountShardMap, ShardId};
 
@@ -125,7 +132,7 @@ impl MetisPartitioner {
         let parallelism = self.config.parallelism;
 
         // --- Phase 1: coarsen -------------------------------------------
-        let base = WorkGraph::from_tx_graph(graph, parallelism);
+        let base = WorkGraph::from_tx_graph(graph);
         let stop_at =
             (self.config.coarsen_per_part * usize::from(k)).max(self.config.min_coarse_nodes);
         let mut levels: Vec<WorkGraph> = vec![base];
@@ -203,27 +210,34 @@ impl GlobalAllocator for MetisPartitioner {
     }
 }
 
-/// Internal adjacency-list graph used across coarsening levels.
+/// Internal flat-CSR graph used across coarsening levels: one
+/// contiguous neighbour-id lane and one weight lane, row-indexed by
+/// `xadj` — the same layout [`TxGraph`] uses, so the scoring loops
+/// stream over contiguous `u32`/`u64` arrays at every level.
 #[derive(Debug, Clone)]
 struct WorkGraph {
     vwgt: Vec<u64>,
-    /// Sorted, merged adjacency: (neighbour, weight), no self-loops.
-    adj: Vec<Vec<(u32, u64)>>,
+    /// Row index: node `v`'s neighbours occupy `xadj[v]..xadj[v + 1]`.
+    xadj: Vec<usize>,
+    /// Neighbour ids, sorted ascending within each row; no self-loops.
+    anbr: Vec<u32>,
+    /// Edge weights, parallel to `anbr`.
+    awgt: Vec<u64>,
 }
 
 impl WorkGraph {
-    fn from_tx_graph(graph: &TxGraph, parallelism: Parallelism) -> Self {
-        let n = graph.node_count();
+    fn from_tx_graph(graph: &TxGraph) -> Self {
         // Account for isolated/low-activity vertices: weight at least 1
         // so balance constraints stay meaningful.
-        let vwgt: Vec<u64> = graph.nodes().map(|v| graph.node_weight(v).max(1)).collect();
-        let adj: Vec<Vec<(u32, u64)>> = map_indexed(n, parallelism, |v| {
-            graph
-                .neighbors(NodeId::new(v as u32))
-                .map(|(nb, w)| (nb.index() as u32, w))
-                .collect()
-        });
-        WorkGraph { vwgt, adj }
+        let vwgt: Vec<u64> = graph.vwgt().iter().map(|&w| w.max(1)).collect();
+        // The source graph is already CSR — copy the lanes straight
+        // across (NodeId is a u32 newtype).
+        WorkGraph {
+            vwgt,
+            xadj: graph.xadj().to_vec(),
+            anbr: graph.adjncy().iter().map(|nb| nb.index() as u32).collect(),
+            awgt: graph.adjwgt().to_vec(),
+        }
     }
 
     fn len(&self) -> usize {
@@ -232,6 +246,21 @@ impl WorkGraph {
 
     fn total_weight(&self) -> u64 {
         self.vwgt.iter().sum()
+    }
+
+    /// Iterates `(neighbour, weight)` over `v`'s CSR row.
+    #[inline]
+    fn nbrs(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let range = self.xadj[v]..self.xadj[v + 1];
+        self.anbr[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.awgt[range].iter().copied())
+    }
+
+    #[inline]
+    fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
     }
 }
 
@@ -248,7 +277,7 @@ const UNMATCHED: u32 = u32::MAX;
 /// construction).
 fn best_unmatched_neighbor(graph: &WorkGraph, mate: &[u32], v: usize) -> Option<(u32, u64)> {
     let mut best: Option<(u32, u64)> = None;
-    for &(nb, w) in &graph.adj[v] {
+    for (nb, w) in graph.nbrs(v) {
         if mate[nb as usize] == UNMATCHED && nb as usize != v {
             match best {
                 Some((bn, bw)) if w < bw || (w == bw && nb >= bn) => {}
@@ -368,39 +397,84 @@ fn finish_coarsen(
 
     // Build the coarse graph. Every coarse node's merged adjacency is
     // independent of the others (and sorted by neighbour id), so the
-    // aggregation fans out with one reusable histogram per worker.
+    // aggregation fans out with one reusable histogram per worker; the
+    // scored rows land in the sweep's flat per-worker arenas and the
+    // sequential commit appends them straight onto the coarse CSR lanes
+    // (input order, so the layout is identical at any worker count).
     let cn = next as usize;
     let mut vwgt = vec![0u64; cn];
     for v in 0..n {
         vwgt[coarse_of[v] as usize] += graph.vwgt[v];
     }
-    // Iterate fine nodes grouped by coarse owner.
-    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cn];
-    for v in 0..n {
-        members[coarse_of[v] as usize].push(v as u32);
+    // Fine nodes grouped by coarse owner, as a flat CSR (ascending
+    // fine id within each group — the same order a per-group push
+    // over `0..n` would produce).
+    let mut mxadj = vec![0usize; cn + 1];
+    for &c in &coarse_of {
+        mxadj[c as usize + 1] += 1;
     }
+    for c in 0..cn {
+        mxadj[c + 1] += mxadj[c];
+    }
+    let mut members = vec![0u32; n];
+    let mut cursor = mxadj.clone();
+    for (v, &c) in coarse_of.iter().enumerate() {
+        let c = c as usize;
+        members[cursor[c]] = v as u32;
+        cursor[c] += 1;
+    }
+
+    struct CoarseCsr {
+        xadj: Vec<usize>,
+        anbr: Vec<u32>,
+        awgt: Vec<u64>,
+    }
+    let mut csr = CoarseCsr {
+        xadj: vec![0usize; 1],
+        anbr: Vec::new(),
+        awgt: Vec::new(),
+    };
     let coarse_of_ref = &coarse_of;
-    let adj: Vec<Vec<(u32, u64)>> = map_indexed_scratch(
+    chunked_scan_commit_slices(
+        &mut csr,
         cn,
+        scan_chunk_size(cn, parallelism),
         parallelism,
         FnvHashMap::<u32, u64>::default,
-        |scratch, c| {
+        |scratch, _csr, c, arena: &mut Vec<(u32, u64)>| {
             scratch.clear();
-            for &v in &members[c] {
-                for &(nb, w) in &graph.adj[v as usize] {
+            for &v in &members[mxadj[c]..mxadj[c + 1]] {
+                for (nb, w) in graph.nbrs(v as usize) {
                     let cnb = coarse_of_ref[nb as usize];
                     if cnb as usize != c {
                         *scratch.entry(cnb).or_default() += w;
                     }
                 }
             }
-            let mut edges: Vec<(u32, u64)> = scratch.iter().map(|(&c, &w)| (c, w)).collect();
-            edges.sort_unstable_by_key(|&(c, _)| c);
-            edges
+            let row_start = arena.len();
+            arena.extend(scratch.iter().map(|(&cnb, &w)| (cnb, w)));
+            // Keys are unique (histogram), so the unstable sort is
+            // deterministic regardless of hashmap iteration order.
+            arena[row_start..].sort_unstable_by_key(|&(cnb, _)| cnb);
+        },
+        |csr, _c, (), row| {
+            for &(cnb, w) in row {
+                csr.anbr.push(cnb);
+                csr.awgt.push(w);
+            }
+            csr.xadj.push(csr.anbr.len());
         },
     );
 
-    (WorkGraph { vwgt, adj }, coarse_of)
+    (
+        WorkGraph {
+            vwgt,
+            xadj: csr.xadj,
+            anbr: csr.anbr,
+            awgt: csr.awgt,
+        },
+        coarse_of,
+    )
 }
 
 /// Greedy region growing: seed each part with the heaviest unassigned
@@ -433,7 +507,7 @@ fn initial_partition(graph: &WorkGraph, k: u16) -> Vec<u16> {
 
         // Grow by max connectivity-to-region.
         let mut frontier: FnvHashMap<u32, u64> = FnvHashMap::default();
-        for &(nb, w) in &graph.adj[seed] {
+        for (nb, w) in graph.nbrs(seed) {
             if parts[nb as usize] == UNASSIGNED {
                 *frontier.entry(nb).or_default() += w;
             }
@@ -451,7 +525,7 @@ fn initial_partition(graph: &WorkGraph, k: u16) -> Vec<u16> {
             }
             parts[v] = p;
             part_weight[usize::from(p)] += graph.vwgt[v];
-            for &(nb, w) in &graph.adj[v] {
+            for (nb, w) in graph.nbrs(v) {
                 if parts[nb as usize] == UNASSIGNED {
                     *frontier.entry(nb).or_default() += w;
                 }
@@ -511,7 +585,7 @@ fn rebalance(graph: &WorkGraph, parts: &mut [u16], k: u16, max_allowed: u64) {
                 continue;
             }
             conn.iter_mut().for_each(|c| *c = 0);
-            for &(nb, w) in &graph.adj[v] {
+            for (nb, w) in graph.nbrs(v) {
                 conn[usize::from(parts[nb as usize])] += w;
             }
             let gain = conn[lightest] as i64 - conn[heavy] as i64;
@@ -543,7 +617,7 @@ struct RefineState<'p> {
 /// Accumulates `v`'s connectivity-per-part vector into `conn`.
 fn fill_conn(graph: &WorkGraph, parts: &[u16], v: usize, conn: &mut [u64]) {
     conn.iter_mut().for_each(|c| *c = 0);
-    for &(nb, w) in &graph.adj[v] {
+    for (nb, w) in graph.nbrs(v) {
         conn[usize::from(parts[nb as usize])] += w;
     }
 }
@@ -623,7 +697,7 @@ fn refine(
         for _ in 0..passes {
             let mut moved = 0usize;
             for v in 0..n {
-                if graph.adj[v].is_empty() {
+                if graph.degree(v) == 0 {
                     continue;
                 }
                 fill_conn(graph, parts, v, &mut conn);
@@ -645,35 +719,41 @@ fn refine(
         moves: 0,
     };
     let chunk = scan_chunk_size(n, parallelism);
+    // Live rescan buffer for stale gain vectors — the arena payload is
+    // immutable by the time commit sees it.
+    let mut rescan = vec![0u64; kk];
     for _ in 0..passes {
         let moves_before = state.moves;
-        chunked_scan_commit(
+        chunked_scan_commit_slices(
             &mut state,
             n,
             chunk,
             parallelism,
-            || vec![0u64; kk],
-            |conn: &mut Vec<u64>, s: &RefineState, v| {
-                if graph.adj[v].is_empty() {
+            || (),
+            |(), s: &RefineState, v, arena: &mut Vec<u64>| {
+                if graph.degree(v) == 0 {
                     return None;
                 }
-                fill_conn(graph, s.parts, v, conn);
-                Some((s.moves, conn.clone()))
+                let base = arena.len();
+                arena.resize(base + kk, 0);
+                fill_conn(graph, s.parts, v, &mut arena[base..]);
+                Some(s.moves)
             },
-            |s, v, scored| {
-                let Some((snap, mut conn)) = scored else {
+            |s, v, snap, conn| {
+                let Some(snap) = snap else {
                     return;
                 };
                 // Stale iff a neighbour moved after the snapshot was
                 // scored (a move bumps `moves` and stamps the mover).
-                if s.moves != snap
-                    && graph.adj[v]
-                        .iter()
-                        .any(|&(nb, _)| s.stamp[nb as usize] > snap)
+                let conn: &[u64] = if s.moves != snap
+                    && graph.nbrs(v).any(|(nb, _)| s.stamp[nb as usize] > snap)
                 {
-                    fill_conn(graph, s.parts, v, &mut conn);
-                }
-                if refine_commit_move(graph, v, &conn, s.parts, &mut s.part_weight, max_allowed) {
+                    fill_conn(graph, s.parts, v, &mut rescan);
+                    &rescan
+                } else {
+                    conn
+                };
+                if refine_commit_move(graph, v, conn, s.parts, &mut s.part_weight, max_allowed) {
                     s.moves += 1;
                     s.stamp[v] = s.moves;
                 }

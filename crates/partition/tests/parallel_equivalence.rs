@@ -8,11 +8,18 @@
 //! rests on: over arbitrary graphs, shard counts and worker counts, the
 //! parallel partition equals the sequential one exactly.
 
-use mosaic_metrics::parallel::Parallelism;
+use mosaic_metrics::parallel::{set_par_cutoff, Parallelism};
 use mosaic_partition::{GlobalAllocator, LabelPropagation, MetisConfig, MetisPartitioner};
 use mosaic_txgraph::{GraphBuilder, TxGraph};
 use mosaic_types::AccountId;
 use proptest::prelude::*;
+
+/// These graphs sit below the production sequential cutoff by design;
+/// drop it to 1 so every case genuinely exercises the pool. (Process
+/// global, but every test here sets the same value.)
+fn force_parallel() {
+    set_par_cutoff(1);
+}
 
 fn acct(i: u64) -> AccountId {
     AccountId::new(i)
@@ -38,6 +45,7 @@ proptest! {
         edges in proptest::collection::vec((0u64..80, 0u64..80, 1u64..6), 1..300),
         k in 2u16..7,
     ) {
+        force_parallel();
         let g = graph_from_edges(&edges);
         let sequential = MetisPartitioner::default().partition(&g, k);
         for workers in WORKER_LEVELS {
@@ -53,6 +61,7 @@ proptest! {
         edges in proptest::collection::vec((0u64..80, 0u64..80, 1u64..6), 1..300),
         k in 2u16..7,
     ) {
+        force_parallel();
         let g = graph_from_edges(&edges);
         let sequential = LabelPropagation::default().partition(&g, k);
         for workers in WORKER_LEVELS {
@@ -68,6 +77,7 @@ proptest! {
         edges in proptest::collection::vec((0u64..50, 0u64..50, 1u64..4), 1..150),
         k in 2u16..5,
     ) {
+        force_parallel();
         let g = graph_from_edges(&edges);
         let p = MetisPartitioner::default();
         let sequential = p.allocate(&g, k);
@@ -84,6 +94,7 @@ proptest! {
 /// engage (proptest graphs are usually too small to coarsen).
 #[test]
 fn metis_parallel_equals_sequential_on_large_community_graph() {
+    force_parallel();
     let mut b = GraphBuilder::new();
     let communities = 24u64;
     let size = 40u64;
@@ -115,6 +126,7 @@ fn metis_parallel_equals_sequential_on_large_community_graph() {
 
 #[test]
 fn labelprop_parallel_equals_sequential_on_large_community_graph() {
+    force_parallel();
     let mut b = GraphBuilder::new();
     for c in 0..30u64 {
         let base = c * 25;

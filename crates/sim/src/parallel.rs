@@ -1,15 +1,18 @@
 //! Order-stable parallel execution — re-exported from
 //! [`mosaic_metrics::parallel`].
 //!
-//! The pool implementation moved down the crate stack so that
+//! The pool implementation lives down the crate stack so that
 //! within-cell work (epoch classification chunks in
 //! [`mosaic_metrics::EpochLoad::compute_with`], per-shard block commits
 //! in `mosaic_chain::Ledger::process_epoch`) dispatches on the same
-//! order-stable primitives the experiment grid uses for whole cells.
-//! Existing `mosaic_sim::parallel::{ordered_map, Parallelism}` paths
-//! keep working through this re-export.
+//! persistent barrier-synchronised [`WorkerPool`]s the experiment grid
+//! uses for whole cells — pools stack per thread, so a grid lane and the
+//! allocator sweeps inside it never share a barrier. Existing
+//! `mosaic_sim::parallel::{ordered_map, Parallelism}` paths keep working
+//! through this re-export.
 
 pub use mosaic_metrics::parallel::{
-    chunked_scan_commit, for_each_indexed_mut, map_indexed, map_indexed_scratch, ordered_map,
-    scan_chunk_size, Parallelism,
+    chunked_scan_commit, chunked_scan_commit_slices, for_each_indexed_mut, map_indexed,
+    map_indexed_scratch, ordered_map, par_cutoff, scan_chunk_size, set_par_cutoff, Parallelism,
+    WorkerPool,
 };

@@ -10,15 +10,16 @@
 //! sequential because every move shifts the loads later decisions read.
 //!
 //! Both kernels here therefore run the scan over
-//! [`mosaic_metrics::parallel::chunked_scan_commit`]: chunks of the
-//! visit order are prescored against a snapshot, the commit walk replays
-//! moves in input order with live loads, and a prescored histogram is
-//! recomputed inline iff one of the account's neighbours moved after the
-//! snapshot. The result is **bit-identical** to the sequential sweep at
-//! every worker count (the sequential path below is the oracle the
+//! [`mosaic_metrics::parallel::chunked_scan_commit_slices`]: chunks of
+//! the visit order are prescored against a snapshot into flat per-worker
+//! arenas (no allocation per account), the commit walk replays moves in
+//! input order with live loads, and a prescored histogram is recomputed
+//! inline iff one of the account's neighbours moved after the snapshot.
+//! The result is **bit-identical** to the sequential sweep at every
+//! worker count (the sequential path below is the oracle the
 //! parallel-equivalence proptests compare against).
 
-use mosaic_metrics::parallel::{chunked_scan_commit, scan_chunk_size, Parallelism};
+use mosaic_metrics::parallel::{chunked_scan_commit_slices, scan_chunk_size, Parallelism};
 use mosaic_txgraph::{NodeId, TxGraph};
 use mosaic_types::hash::FnvHashMap;
 
@@ -123,30 +124,38 @@ pub(crate) fn objective_refine(
         moves: 0,
     };
     let chunk = scan_chunk_size(n, parallelism);
+    // Live rescan buffer for stale conn vectors — the arena payload is
+    // immutable by the time commit sees it.
+    let mut rescan = vec![0.0f64; kk];
     for _ in 0..rounds {
         let moves_before = state.moves;
-        chunked_scan_commit(
+        chunked_scan_commit_slices(
             &mut state,
             n,
             chunk,
             parallelism,
-            || vec![0.0f64; kk],
-            |conn: &mut Vec<f64>, s: &SweepState<u16>, i| {
+            || (),
+            |(), s: &SweepState<u16>, i, arena: &mut Vec<f64>| {
                 let v = order[i] as usize;
-                fill_shard_conn(graph, s.assign, v, conn);
-                (s.moves, conn.clone())
+                let base = arena.len();
+                arena.resize(base + kk, 0.0);
+                fill_shard_conn(graph, s.assign, v, &mut arena[base..]);
+                s.moves
             },
-            |s, i, (snap, mut conn)| {
+            |s, i, snap, conn| {
                 let v = order[i] as usize;
                 // Stale iff a neighbour moved after the snapshot.
-                if s.moves != snap
+                let conn: &[f64] = if s.moves != snap
                     && graph
                         .neighbors(NodeId::new(v as u32))
                         .any(|(nb, _)| s.stamp[nb.index()] > snap)
                 {
-                    fill_shard_conn(graph, s.assign, v, &mut conn);
-                }
-                if commit_objective_move(v, &conn, objective, dv, s.assign, s.weight) {
+                    fill_shard_conn(graph, s.assign, v, &mut rescan);
+                    &rescan
+                } else {
+                    conn
+                };
+                if commit_objective_move(v, conn, objective, dv, s.assign, s.weight) {
                     s.moves += 1;
                     s.stamp[v] = s.moves;
                 }
@@ -158,8 +167,25 @@ pub(crate) fn objective_refine(
     }
 }
 
-/// Scores `v`'s connectivity per neighbouring community into `entries`,
-/// reusing the caller's histogram scratch (one per worker).
+/// Appends `v`'s connectivity-per-community entries onto `out`, reusing
+/// the caller's histogram scratch (one per worker). Appending rather
+/// than clearing lets the parallel path land every node's entries in
+/// one flat per-lane arena.
+fn score_communities_into(
+    graph: &TxGraph,
+    comm: &[u32],
+    v: usize,
+    scratch: &mut FnvHashMap<u32, f64>,
+    out: &mut Vec<(u32, f64)>,
+) {
+    scratch.clear();
+    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
+        *scratch.entry(comm[nb.index()]).or_default() += w as f64;
+    }
+    out.extend(scratch.iter().map(|(&c, &w)| (c, w)));
+}
+
+/// Scores `v`'s connectivity per neighbouring community into `entries`.
 fn score_communities(
     graph: &TxGraph,
     comm: &[u32],
@@ -167,12 +193,8 @@ fn score_communities(
     scratch: &mut FnvHashMap<u32, f64>,
     entries: &mut Vec<(u32, f64)>,
 ) {
-    scratch.clear();
-    for (nb, w) in graph.neighbors(NodeId::new(v as u32)) {
-        *scratch.entry(comm[nb.index()]).or_default() += w as f64;
-    }
     entries.clear();
-    entries.extend(scratch.iter().map(|(&c, &w)| (c, w)));
+    score_communities_into(graph, comm, v, scratch, entries);
 }
 
 /// The community-join decision shared verbatim by both paths: adopt the
@@ -258,31 +280,36 @@ pub(crate) fn detect_communities(
         moves: 0,
     };
     let chunk = scan_chunk_size(order.len(), parallelism);
+    // Live rescan buffers for stale histograms — the arena payload is
+    // immutable by the time commit sees it.
     let mut live_scratch: FnvHashMap<u32, f64> = FnvHashMap::default();
+    let mut live_entries: Vec<(u32, f64)> = Vec::new();
     for _ in 0..rounds.max(1) {
         let moves_before = state.moves;
-        chunked_scan_commit(
+        chunked_scan_commit_slices(
             &mut state,
             order.len(),
             chunk,
             parallelism,
             FnvHashMap::<u32, f64>::default,
-            |scratch, s: &SweepState<u32>, i| {
+            |scratch, s: &SweepState<u32>, i, arena: &mut Vec<(u32, f64)>| {
                 let v = order[i] as usize;
-                let mut entries = Vec::new();
-                score_communities(graph, s.assign, v, scratch, &mut entries);
-                (s.moves, entries)
+                score_communities_into(graph, s.assign, v, scratch, arena);
+                s.moves
             },
-            |s, i, (snap, mut entries)| {
+            |s, i, snap, entries| {
                 let v = order[i] as usize;
-                if s.moves != snap
+                let entries: &[(u32, f64)] = if s.moves != snap
                     && graph
                         .neighbors(NodeId::new(v as u32))
                         .any(|(nb, _)| s.stamp[nb.index()] > snap)
                 {
-                    score_communities(graph, s.assign, v, &mut live_scratch, &mut entries);
-                }
-                if commit_community_move(v, &entries, dv, capacity, s.assign, s.weight) {
+                    score_communities(graph, s.assign, v, &mut live_scratch, &mut live_entries);
+                    &live_entries
+                } else {
+                    entries
+                };
+                if commit_community_move(v, entries, dv, capacity, s.assign, s.weight) {
                     s.moves += 1;
                     s.stamp[v] = s.moves;
                 }

@@ -6,11 +6,18 @@
 //! counts — the same guarantee the experiment engine's determinism CI
 //! job enforces end-to-end on the CSV bytes.
 
-use mosaic_metrics::parallel::Parallelism;
+use mosaic_metrics::parallel::{set_par_cutoff, Parallelism};
 use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
 use mosaic_txgraph::GraphBuilder;
 use mosaic_types::{AccountId, AccountShardMap, BlockHeight, Transaction, TxId};
 use proptest::prelude::*;
+
+/// These graphs sit below the production sequential cutoff by design;
+/// drop it to 1 so every case genuinely exercises the pool. (Process
+/// global, but every test here sets the same value.)
+fn force_parallel() {
+    set_par_cutoff(1);
+}
 
 fn acct(i: u64) -> AccountId {
     AccountId::new(i)
@@ -33,6 +40,7 @@ proptest! {
         edges in proptest::collection::vec((0u64..80, 0u64..80, 1u64..6), 1..300),
         k in 2u16..7,
     ) {
+        force_parallel();
         let mut b = GraphBuilder::new();
         for (x, y, w) in edges {
             b.add_edge(acct(x), acct(y), w);
@@ -52,6 +60,7 @@ proptest! {
         pairs in proptest::collection::vec((0u64..40, 0u64..40), 1..250),
         k in 2u16..7,
     ) {
+        force_parallel();
         let window: Vec<Transaction> = pairs
             .iter()
             .enumerate()
@@ -90,6 +99,7 @@ proptest! {
 /// rounds and many chunks engage.
 #[test]
 fn gtxallo_parallel_equals_sequential_on_large_community_graph() {
+    force_parallel();
     let mut b = GraphBuilder::new();
     for c in 0..20u64 {
         let base = c * 50;
