@@ -33,7 +33,7 @@ use std::process::ExitCode;
 struct Entry {
     /// `"allocator"` value when present (allocators_parallel shape).
     allocator: Option<String>,
-    /// `"nodes"` or `"epochs"` — whatever sizes the entry.
+    /// `"nodes"`, `"epochs"` or `"accounts"` — whatever sizes the entry.
     size: f64,
     /// Sequential-side milliseconds, when the shape records them.
     seq_ms: Option<f64>,
@@ -84,6 +84,7 @@ fn parse(content: &str) -> Result<BenchFile, String> {
             .ok_or_else(|| format!("entry without a speedup: {entry:?}"))?;
         let size = find_number(entry, "nodes")
             .or_else(|| find_number(entry, "epochs"))
+            .or_else(|| find_number(entry, "accounts"))
             .unwrap_or(0.0);
         entries.push(Entry {
             allocator: find_string(entry, "allocator"),
@@ -335,6 +336,34 @@ mod tests {
     {"epochs": 64, "txs": 16000, "full_rebuild_ms": 37.9, "merge_delta_ms": 8.0, "speedup": 4.72}
   ]
 }"#;
+
+    const SCALE: &str = r#"{
+  "bench": "scale_streaming",
+  "unit": "MB and epochs/sec; speedup = trace_mb / peak_rss_mb",
+  "cpus": 0,
+  "scenario": "scenarios/huge.scenario",
+  "results": [
+    {"accounts": 100000, "blocks": 500, "txs": 400000, "trace_mb": 15.3, "peak_rss_mb": 20.6, "seconds": 0.51, "epochs_per_sec": 9.871, "speedup": 0.74},
+    {"accounts": 1000000, "blocks": 5000, "txs": 4000000, "trace_mb": 152.6, "peak_rss_mb": 198.5, "seconds": 10.51, "epochs_per_sec": 0.476, "speedup": 0.77}
+  ]
+}"#;
+
+    #[test]
+    fn scale_shape_sizes_by_accounts_and_arms_the_ratio_gate() {
+        let f = parse(SCALE).unwrap();
+        assert_eq!(f.bench, "scale_streaming");
+        // cpus is pinned to 0 by bench_scale (the memory ratio is
+        // machine-independent), so baselines from any box compare.
+        assert_eq!(f.cpus, Some(0.0));
+        assert_eq!(f.entries[1].size, 1_000_000.0);
+        assert!(check(&f, &f, 0.9, 2.0).is_empty());
+        // A shrinking trace/RSS ratio is a regression like any other.
+        let mut cur = f.clone();
+        cur.entries[1].speedup = 0.77 * 0.8;
+        let failures = check(&f, &cur, 0.9, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("@1000000"), "{failures:?}");
+    }
 
     #[test]
     fn parses_both_shapes() {

@@ -18,7 +18,7 @@ use mosaic_sim::{experiments, Scale, Scenario};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  scenario print <effectiveness|full-protocol|beta-sweep|ablation> \
+        "usage:\n  scenario print <effectiveness|full-protocol|beta-sweep|ablation|huge> \
          [quick|default|full]\n  scenario validate <file>..."
     );
     std::process::exit(2);
@@ -47,10 +47,13 @@ fn main() {
                 "full-protocol" => Scenario::full_protocol(&scale),
                 "beta-sweep" => Scenario::beta_sweep(&scale),
                 "ablation" => experiments::ablation_base(&scale),
+                // The streamed 10M-account scenario is a fixed point,
+                // not scale-parameterised; the scale argument is ignored.
+                "huge" => Scenario::huge(),
                 other => {
                     eprintln!(
                         "unknown preset {other:?}; valid: effectiveness, full-protocol, \
-                         beta-sweep, ablation"
+                         beta-sweep, ablation, huge"
                     );
                     std::process::exit(2);
                 }

@@ -6,8 +6,10 @@
 //! metric collection over the evaluation epochs. [`EpochStrategy`] is the
 //! seam between the protocol and the mechanisms:
 //!
-//! * the protocol lives in exactly one place ([`run_with`] — the only
-//!   epoch loop in the crate);
+//! * the protocol lives in one place per trace-ownership model:
+//!   [`run_with`] / [`run_with_observer`] drive it over a resident
+//!   trace, [`run_streamed_with_observer`] over a bounded-memory
+//!   [`EpochWindowStream`] — with byte-identical metric output;
 //! * every mechanism is an [`EpochStrategy`] implementation — a blanket
 //!   impl adapts any miner-driven [`GlobalAllocator`] (Metis, G-TxAllo),
 //!   [`StaticStrategy`] wraps rule-only allocation (hash-based Random),
@@ -45,8 +47,8 @@ use mosaic_metrics::{Aggregate, AggregateBuilder, EpochLoad, EpochMetrics, LoadP
 use mosaic_partition::GlobalAllocator;
 use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
 use mosaic_txgraph::{GraphBuilder, TxGraph};
-use mosaic_types::{AccountShardMap, BlockHeight, SystemParams, Transaction};
-use mosaic_workload::TransactionTrace;
+use mosaic_types::{AccountShardMap, BlockHeight, Error, Result, SystemParams, Transaction};
+use mosaic_workload::{EpochWindowStream, TransactionTrace};
 
 use crate::parallel::Parallelism;
 use crate::runner::{ExperimentConfig, ExperimentResult};
@@ -108,6 +110,40 @@ impl<'t> History<'t> {
         }
     }
 
+    /// Folds `txs` straight into the delta builder without retaining the
+    /// slice — equivalent to [`History::extend`] + [`History::accrete`],
+    /// but borrowing nothing. The streamed epoch loop uses this so each
+    /// window buffer can be dropped (or reused) the moment it has been
+    /// absorbed; accumulation order equals slice order, so chunked
+    /// absorption builds the identical graph to one monolithic extend.
+    pub fn absorb(&mut self, txs: &[Transaction]) {
+        if txs.is_empty() {
+            return;
+        }
+        self.delta.add_transactions(txs);
+        self.txs += txs.len();
+    }
+
+    /// Records `n` transactions as part of the history *without* keeping
+    /// them. The streamed loop uses this for strategies that never
+    /// consult the graph ([`EpochStrategy::consumes_history`] = `false`),
+    /// keeping [`History::len`]-based accounting (e.g. miner input
+    /// bytes) identical to the materialised run while storing nothing.
+    pub fn record_unretained(&mut self, n: usize) {
+        self.txs += n;
+    }
+
+    /// Frees the graph state (maintained CSR, delta builder, pending
+    /// windows) while keeping the transaction count. The streamed loop
+    /// calls this right after the initial allocation when the strategy
+    /// will never consult the history again — from then on the session's
+    /// footprint is bounded by the current + recent window alone.
+    pub fn release(&mut self) {
+        self.delta = GraphBuilder::default();
+        self.pending = Vec::new();
+        self.graph = TxGraph::default();
+    }
+
     /// The full-history interaction graph, maintained incrementally.
     ///
     /// Drains pending windows and sort-merges the accumulated delta into
@@ -123,13 +159,18 @@ impl<'t> History<'t> {
 }
 
 /// Everything a strategy may look at before an epoch is processed.
+///
+/// The window lifetime `'w` is independent of the history lifetime `'t`:
+/// the materialised loop borrows both from the resident trace, while the
+/// streamed loop hands out windows borrowed from short-lived buffers
+/// against a history that retains nothing.
 #[derive(Debug)]
-pub struct EpochCtx<'e, 't> {
+pub struct EpochCtx<'e, 'w, 't> {
     /// The upcoming epoch's transactions (the mempool the oracle sees).
-    pub window: &'t [Transaction],
+    pub window: &'w [Transaction],
     /// The previous epoch's transactions (the recent window incremental
     /// strategies consume; initially the last τ blocks of training).
-    pub recent_window: &'t [Transaction],
+    pub recent_window: &'w [Transaction],
     /// The committed history up to (excluding) this epoch.
     pub history: &'e mut History<'t>,
     /// System parameters of the experiment cell.
@@ -198,22 +239,42 @@ pub trait EpochStrategy {
         false
     }
 
+    /// Ingests one chunk of the training prefix, in block order, before
+    /// [`EpochStrategy::initial_allocation`] runs. The materialised loop
+    /// calls this once with the whole prefix; the streamed loop calls it
+    /// per τ-block chunk. Implementations must be chunking-invariant:
+    /// a sequence of calls in order is equivalent to one call on the
+    /// concatenation. Default: ignore (graph strategies read the
+    /// training data from `history` instead).
+    fn observe_training(&mut self, chunk: &[Transaction]) {
+        let _ = chunk;
+    }
+
     /// Computes the initial ϕ from the training prefix and returns it
     /// with the wall-clock time of the allocation itself. `history`
-    /// already contains exactly the training transactions; client-driven
-    /// strategies also ingest `train` into their local client state.
+    /// already contains exactly the training transactions, and
+    /// [`EpochStrategy::observe_training`] has already seen them.
     fn initial_allocation(
         &mut self,
-        train: &[Transaction],
         history: &mut History<'_>,
         k: u16,
     ) -> (AccountShardMap, Duration);
+
+    /// `true` if the strategy consults [`EpochCtx::history`] after the
+    /// initial allocation. Strategies that never do (client-driven
+    /// Mosaic, the static hash baseline, incremental A-TxAllo) return
+    /// `false`, which lets the streamed loop free the accreted graph and
+    /// stop retaining windows — the memory bound the 10M-account
+    /// scenarios rely on.
+    fn consumes_history(&self) -> bool {
+        true
+    }
 
     /// Runs the strategy's allocation step for the upcoming epoch. Called
     /// once per evaluation epoch, *before* the ledger processes
     /// `ctx.window`; client-driven strategies submit their migration
     /// requests to `ledger` here.
-    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision;
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_, '_>) -> EpochDecision;
 
     /// Observes the committed window after the ledger processed it
     /// (client-driven strategies fold it into client histories).
@@ -251,7 +312,6 @@ impl<A: GlobalAllocator> EpochStrategy for A {
 
     fn initial_allocation(
         &mut self,
-        _train: &[Transaction],
         history: &mut History<'_>,
         k: u16,
     ) -> (AccountShardMap, Duration) {
@@ -259,7 +319,7 @@ impl<A: GlobalAllocator> EpochStrategy for A {
         time_it(|| self.allocate(graph, k))
     }
 
-    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_, '_>) -> EpochDecision {
         let input_bytes = miner_input_bytes(ctx.history.len()) as f64;
         // Hash-map accumulation happens outside the timed region (a
         // miner folds blocks in as they commit); the delta merge into
@@ -305,7 +365,6 @@ impl<A: GlobalAllocator> EpochStrategy for StaticStrategy<A> {
 
     fn initial_allocation(
         &mut self,
-        _train: &[Transaction],
         history: &mut History<'_>,
         k: u16,
     ) -> (AccountShardMap, Duration) {
@@ -313,7 +372,11 @@ impl<A: GlobalAllocator> EpochStrategy for StaticStrategy<A> {
         time_it(|| self.allocator.allocate(graph, k))
     }
 
-    fn before_epoch(&mut self, _ledger: &mut Ledger, _ctx: EpochCtx<'_, '_>) -> EpochDecision {
+    fn consumes_history(&self) -> bool {
+        false
+    }
+
+    fn before_epoch(&mut self, _ledger: &mut Ledger, _ctx: EpochCtx<'_, '_, '_>) -> EpochDecision {
         EpochDecision::unchanged()
     }
 }
@@ -344,7 +407,6 @@ impl EpochStrategy for AdaptiveTxAllo {
 
     fn initial_allocation(
         &mut self,
-        _train: &[Transaction],
         history: &mut History<'_>,
         k: u16,
     ) -> (AccountShardMap, Duration) {
@@ -352,7 +414,11 @@ impl EpochStrategy for AdaptiveTxAllo {
         time_it(|| self.init.allocate(graph, k))
     }
 
-    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
+    fn consumes_history(&self) -> bool {
+        false
+    }
+
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_, '_>) -> EpochDecision {
         let mut phi = ledger.phi().clone();
         let (moved, elapsed) = time_it(|| {
             self.update
@@ -404,20 +470,28 @@ impl<P: ClientPolicy> EpochStrategy for MosaicStrategy<P> {
         true
     }
 
+    fn observe_training(&mut self, chunk: &[Transaction]) {
+        // §V-B: clients preload their histories from the training
+        // transactions. `observe_epoch` is a per-transaction fold in
+        // slice order, so chunked ingestion is chunking-invariant.
+        self.framework.observe_epoch(chunk);
+    }
+
     fn initial_allocation(
         &mut self,
-        train: &[Transaction],
         history: &mut History<'_>,
         k: u16,
     ) -> (AccountShardMap, Duration) {
-        // §V-B: ϕ is initialised with G-TxAllo's result; clients preload
-        // their histories from the training transactions.
-        self.framework.observe_epoch(train);
+        // §V-B: ϕ is initialised with G-TxAllo's result.
         let graph = history.graph();
         time_it(|| self.init.allocate(graph, k))
     }
 
-    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_>) -> EpochDecision {
+    fn consumes_history(&self) -> bool {
+        false
+    }
+
+    fn before_epoch(&mut self, ledger: &mut Ledger, ctx: EpochCtx<'_, '_, '_>) -> EpochDecision {
         // The client population was sized and seeded from construction
         // params; running it under a different cell would silently skew Ω
         // (or index out of shard bounds), so mismatches fail loudly.
@@ -548,8 +622,8 @@ pub fn run_with_observer(
 
     let mut history = History::new();
     history.extend(train);
-    let (initial_phi, init_time) =
-        strategy.initial_allocation(train, &mut history, params.shards());
+    strategy.observe_training(train);
+    let (initial_phi, init_time) = strategy.initial_allocation(&mut history, params.shards());
 
     let mut ledger = Ledger::new(params, initial_phi, config.resolved_miner_count())
         .expect("consistent shard counts");
@@ -623,6 +697,153 @@ pub fn run_with_observer(
         },
         total_migrations,
     }
+}
+
+/// [`run_with_observer`] over an [`EpochWindowStream`] instead of a
+/// resident trace — the same §V-A protocol, byte-identical metric rows,
+/// but the session owns at most the current and recent window (plus the
+/// incremental CSR while the strategy still consumes it; strategies with
+/// [`EpochStrategy::consumes_history`] `= false` free even that right
+/// after the initial allocation). Trace size never bounds memory.
+///
+/// The training prefix is consumed in τ-block chunks: each chunk is
+/// handed to [`EpochStrategy::observe_training`], absorbed into the
+/// history's delta builder, merged into the maintained CSR, and dropped.
+/// Both `observe_training` and graph accretion are chunking-invariant
+/// folds in block order, and the per-epoch metric rows carry no timing
+/// fields, so the streamed run's CSV output is byte-identical to the
+/// materialised run's wherever both exist (proptested in
+/// `tests/scenario_equivalence.rs`).
+///
+/// # Errors
+///
+/// [`Error::EmptyTrace`] if the stream spans no blocks (the materialised
+/// loop panics instead — a resident empty trace is a programming error,
+/// a streamed one may be a bad file); otherwise propagates stream read
+/// errors ([`Error::ParseTrace`] / [`Error::Io`]).
+pub fn run_streamed_with_observer(
+    config: &ExperimentConfig,
+    stream: &mut EpochWindowStream,
+    strategy: &mut dyn EpochStrategy,
+    on_epoch: &mut dyn FnMut(usize, &EpochMetrics) -> bool,
+) -> Result<RunSummary> {
+    let params = config.params;
+    let tau = params.tau();
+    let blocks = stream.blocks();
+    if blocks == 0 {
+        return Err(Error::EmptyTrace);
+    }
+    let max_block = blocks - 1;
+    let cut_block = ((blocks as f64) * config.train_fraction).floor() as u64;
+    let recent_start = cut_block.saturating_sub(u64::from(tau));
+
+    // Training prefix, chunked: blocks [0, cut − τ) pass through a single
+    // reused buffer; [cut − τ, cut) is kept — it becomes the first
+    // "recent window", exactly as in the materialised loop.
+    let mut history = History::new();
+    let chunk_blocks = u64::from(tau);
+    let mut buf: Vec<Transaction> = Vec::new();
+    while stream.position() < recent_start {
+        let to = (stream.position() + chunk_blocks).min(recent_start);
+        buf.clear();
+        stream.read_to(to, &mut buf)?;
+        strategy.observe_training(&buf);
+        history.absorb(&buf);
+        // Merge each chunk into the maintained CSR as it arrives, so the
+        // un-merged delta (a hash map over edges) stays bounded by one
+        // chunk instead of growing to the whole training prefix. The CSR
+        // content is independent of merge points.
+        let _ = history.graph();
+    }
+    let mut recent: Vec<Transaction> = Vec::new();
+    stream.read_to(cut_block, &mut recent)?;
+    strategy.observe_training(&recent);
+    history.absorb(&recent);
+
+    let (initial_phi, init_time) = strategy.initial_allocation(&mut history, params.shards());
+
+    let mut ledger = Ledger::new(params, initial_phi, config.resolved_miner_count())
+        .expect("consistent shard counts");
+    ledger.set_migration_capacity(config.migration_capacity);
+    ledger.set_parallelism(config.cell_parallelism);
+
+    if !strategy.consumes_history() {
+        history.release();
+    }
+
+    let mut aggregate = AggregateBuilder::new();
+    let mut alloc_stats = DurationStats::new();
+    let mut input_bytes_sum = 0.0f64;
+    let mut input_samples = 0usize;
+    let mut total_migrations = 0usize;
+
+    let mut window: Vec<Transaction> = Vec::new();
+    let mut start = cut_block;
+    for epoch in 0..config.eval_epochs {
+        // Same termination rule as `TransactionTrace::epoch_windows`:
+        // yield (possibly empty) windows while their start is in range.
+        if start > max_block {
+            break;
+        }
+        window.clear();
+        stream.read_to(start + u64::from(tau), &mut window)?;
+        let decision = strategy.before_epoch(
+            &mut ledger,
+            EpochCtx {
+                window: &window,
+                recent_window: &recent,
+                history: &mut history,
+                params,
+                parallelism: config.cell_parallelism,
+            },
+        );
+        if let Some(elapsed) = decision.alloc_time {
+            alloc_stats.record(elapsed);
+        }
+        if let Some(bytes) = decision.input_bytes {
+            input_bytes_sum += bytes;
+            input_samples += 1;
+        }
+        if let Some(phi) = decision.new_phi {
+            ledger.set_allocation(phi).expect("same shard count");
+        }
+
+        let outcome = ledger.process_epoch(&window);
+        let migrations = match decision.migrations {
+            MigrationCount::Moves(n) => n,
+            MigrationCount::CommittedRequests => outcome.committed.len(),
+        };
+        total_migrations += migrations;
+        let metrics = EpochMetrics::from_load(&outcome.load, migrations);
+        aggregate.push(&metrics);
+        if !on_epoch(epoch, &metrics) {
+            break;
+        }
+
+        strategy.after_epoch(&window);
+        if strategy.consumes_history() {
+            history.absorb(&window);
+        } else {
+            history.record_unretained(window.len());
+        }
+        // The processed window becomes the next epoch's recent window;
+        // the old recent buffer is reused for the next read.
+        std::mem::swap(&mut recent, &mut window);
+        start += u64::from(tau);
+    }
+
+    Ok(RunSummary {
+        epochs: aggregate.epochs(),
+        aggregate: aggregate.finish(),
+        init_seconds: init_time.as_secs_f64(),
+        mean_alloc_seconds: alloc_stats.mean_seconds(),
+        mean_input_bytes: if input_samples == 0 {
+            0.0
+        } else {
+            input_bytes_sum / input_samples as f64
+        },
+        total_migrations,
+    })
 }
 
 #[cfg(test)]

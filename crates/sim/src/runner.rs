@@ -16,7 +16,7 @@ use std::io;
 
 use mosaic_metrics::{Aggregate, EpochCsvWriter, EpochMetrics};
 use mosaic_types::SystemParams;
-use mosaic_workload::TransactionTrace;
+use mosaic_workload::{TraceSource, TransactionTrace};
 
 use crate::engine::{self, EpochStrategy, RunSummary};
 use crate::parallel::Parallelism;
@@ -202,6 +202,53 @@ pub fn run_streaming(
     }
     writer.finish()?;
     Ok(summary)
+}
+
+/// [`run_streaming`] for a [`TraceSource`] consumed through a bounded
+/// window stream: neither the trace nor the per-epoch rows are ever
+/// resident, so memory is governed by the epoch window (τ blocks), not
+/// the trace length. Works for every source variant; byte-identical to
+/// [`run_streaming`] over the materialised trace of the same source.
+///
+/// # Errors
+///
+/// Returns [`mosaic_types::Error::Io`] / `ParseTrace` from opening or
+/// reading the source, [`mosaic_types::Error::EmptyTrace`] on a
+/// zero-block trace, and the sink's first I/O error (the run aborts at
+/// the failing epoch).
+pub fn run_streamed(
+    config: &ExperimentConfig,
+    source: &TraceSource,
+    out: &mut dyn io::Write,
+) -> mosaic_types::Result<RunSummary> {
+    let mut stream = source.window_stream()?;
+    let mut strategy = config.strategy.build(config.params);
+    let mut writer = EpochCsvWriter::new(out).map_err(|e| sink_error(&e))?;
+    let mut io_error: Option<io::Error> = None;
+    let summary = engine::run_streamed_with_observer(
+        config,
+        &mut stream,
+        strategy.as_mut(),
+        &mut |_, metrics: &EpochMetrics| match writer.write_epoch(metrics) {
+            Ok(()) => true,
+            Err(e) => {
+                io_error = Some(e);
+                false
+            }
+        },
+    )?;
+    if let Some(e) = io_error {
+        return Err(sink_error(&e));
+    }
+    writer.finish().map_err(|e| sink_error(&e))?;
+    Ok(summary)
+}
+
+fn sink_error(e: &io::Error) -> mosaic_types::Error {
+    mosaic_types::Error::Io {
+        path: "<stream sink>".to_string(),
+        message: e.to_string(),
+    }
 }
 
 #[cfg(test)]

@@ -492,6 +492,36 @@ impl Scenario {
         .with_strategies([Strategy::Mosaic])
     }
 
+    /// The ROADMAP's 10M-account scale proof: a streamed synthetic
+    /// workload (40M transactions — never materialised) driven through
+    /// the full epoch protocol at the paper's parameter point, with
+    /// per-epoch rows streamed to `results/`. The hash-based Random
+    /// strategy frees the accreted graph right after the initial
+    /// allocation ([`crate::engine::EpochStrategy::consumes_history`]),
+    /// so steady-state memory is the current + recent window plus
+    /// O(accounts) generator and ledger state. `bench_scale` runs this
+    /// scenario proportionally scaled down to chart the epochs/sec +
+    /// peak-RSS curve vs account count.
+    pub fn huge() -> Self {
+        let mut workload = WorkloadConfig::paper_scaled(0xB16);
+        workload.initial_accounts = 10_000_000;
+        workload.blocks = 50_000;
+        workload.txs_per_block = 800;
+        Scenario::new("huge", TraceSource::StreamedGenerated(workload), 5)
+            .with_base(
+                SystemParams::builder()
+                    .shards(16)
+                    .eta(2.0)
+                    .tau(500)
+                    .build()
+                    .expect("valid params"),
+            )
+            .with_strategies([Strategy::Random])
+            .with_grid_parallelism(Parallelism::Sequential)
+            .with_cell_parallelism(Parallelism::Auto)
+            .with_observers([ObserverSpec::StreamCsv(PathBuf::from("results"))])
+    }
+
     /// The workload config behind a generated trace source, if any.
     pub fn workload(&self) -> Option<&WorkloadConfig> {
         self.trace.workload()
@@ -589,6 +619,17 @@ impl Scenario {
         if self.observers.is_empty() {
             return Err(parse_error(0, "scenario needs at least one observer"));
         }
+        // The whole point of a streamed source is that nothing scales
+        // with run length; collecting every per-epoch row in memory (and
+        // forcing a materialised engine pass) would silently undo that.
+        if self.trace.is_streamed() && self.observers.contains(&ObserverSpec::Collect) {
+            return Err(parse_error(
+                0,
+                "a streamed trace source cannot be combined with the 'collect' observer \
+                 (results would accumulate in memory against an unbounded run); \
+                 use stream-csv:<dir> instead",
+            ));
+        }
         if let Some(dup) = self
             .observers
             .iter()
@@ -635,34 +676,44 @@ impl Scenario {
             let _ = writeln!(out, "{k} = {v}");
         };
         kv("name", self.name.clone());
+        fn workload_kv(kv: &mut impl FnMut(&str, String), w: &WorkloadConfig) {
+            kv("workload.initial_accounts", w.initial_accounts.to_string());
+            kv("workload.blocks", w.blocks.to_string());
+            kv("workload.txs_per_block", w.txs_per_block.to_string());
+            kv(
+                "workload.activity_exponent",
+                w.activity_exponent.to_string(),
+            );
+            kv("workload.communities", w.communities.to_string());
+            kv(
+                "workload.intra_community_bias",
+                w.intra_community_bias.to_string(),
+            );
+            kv("workload.hub_fraction", w.hub_fraction.to_string());
+            kv(
+                "workload.hub_traffic_share",
+                w.hub_traffic_share.to_string(),
+            );
+            kv(
+                "workload.new_accounts_per_block",
+                w.new_accounts_per_block.to_string(),
+            );
+            kv("workload.drift_per_block", w.drift_per_block.to_string());
+            kv("workload.seed", w.seed.to_string());
+        }
         match &self.trace {
             TraceSource::Generated(w) => {
                 kv("trace", "generated".to_string());
-                kv("workload.initial_accounts", w.initial_accounts.to_string());
-                kv("workload.blocks", w.blocks.to_string());
-                kv("workload.txs_per_block", w.txs_per_block.to_string());
-                kv(
-                    "workload.activity_exponent",
-                    w.activity_exponent.to_string(),
-                );
-                kv("workload.communities", w.communities.to_string());
-                kv(
-                    "workload.intra_community_bias",
-                    w.intra_community_bias.to_string(),
-                );
-                kv("workload.hub_fraction", w.hub_fraction.to_string());
-                kv(
-                    "workload.hub_traffic_share",
-                    w.hub_traffic_share.to_string(),
-                );
-                kv(
-                    "workload.new_accounts_per_block",
-                    w.new_accounts_per_block.to_string(),
-                );
-                kv("workload.drift_per_block", w.drift_per_block.to_string());
-                kv("workload.seed", w.seed.to_string());
+                workload_kv(&mut kv, w);
+            }
+            TraceSource::StreamedGenerated(w) => {
+                kv("trace", "streamed".to_string());
+                workload_kv(&mut kv, w);
             }
             TraceSource::Csv(path) => kv("trace", format!("csv:{}", path.display())),
+            TraceSource::StreamedCsv(path) => {
+                kv("trace", format!("streamed-csv:{}", path.display()))
+            }
         }
         kv("params.shards", self.base.shards().to_string());
         kv("params.eta", self.base.eta().to_string());
@@ -842,6 +893,13 @@ impl Scenario {
             trace_kind.ok_or_else(|| parse_error(0, "missing required key 'trace'"))?;
         let trace = if trace_kind == "generated" {
             TraceSource::Generated(workload)
+        } else if trace_kind == "streamed" {
+            TraceSource::StreamedGenerated(workload)
+        } else if let Some(path) = trace_kind.strip_prefix("streamed-csv:") {
+            if path.is_empty() {
+                return Err(parse_error(trace_line, "streamed-csv trace needs a path"));
+            }
+            TraceSource::streamed_csv(path)
         } else if let Some(path) = trace_kind.strip_prefix("csv:") {
             if path.is_empty() {
                 return Err(parse_error(trace_line, "csv trace needs a path"));
@@ -850,7 +908,10 @@ impl Scenario {
         } else {
             return Err(parse_error(
                 trace_line,
-                format!("unknown trace source {trace_kind:?}; valid: generated, csv:<path>"),
+                format!(
+                    "unknown trace source {trace_kind:?}; valid: generated, streamed, \
+                     csv:<path>, streamed-csv:<path>"
+                ),
             ));
         };
         let eval_epochs =
@@ -1002,6 +1063,7 @@ mod tests {
             Scenario::full_protocol(&Scale::quick()),
             Scenario::full_protocol(&Scale::full()),
             Scenario::beta_sweep(&Scale::quick()),
+            Scenario::huge(),
         ] {
             let text = scenario.to_text();
             let back = Scenario::parse(&text).unwrap();
@@ -1048,6 +1110,50 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_covers_streamed_sources() {
+        // streamed-csv: a path token, like csv: but bounded-memory.
+        let from_file = Scenario::new("etl", TraceSource::streamed_csv("data/eth.csv"), 3)
+            .with_observers([ObserverSpec::StreamCsv(PathBuf::from("out"))]);
+        let text = from_file.to_text();
+        assert!(text.contains("trace = streamed-csv:data/eth.csv"), "{text}");
+        assert_eq!(Scenario::parse(&text).unwrap(), from_file);
+
+        // streamed generator: the full WorkloadConfig rides along as
+        // workload.* keys so the spec stays self-contained.
+        let workload = Scale::quick().workload;
+        let generated = Scenario::new("big", TraceSource::StreamedGenerated(workload.clone()), 3)
+            .with_observers([ObserverSpec::StreamCsv(PathBuf::from("out"))]);
+        let text = generated.to_text();
+        assert!(text.contains("trace = streamed"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "workload.initial_accounts = {}",
+                workload.initial_accounts
+            )),
+            "{text}"
+        );
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back, generated);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn validate_rejects_streamed_source_with_collect_observer() {
+        let workload = Scale::quick().workload;
+        let streamed = Scenario::new("s", TraceSource::StreamedGenerated(workload), 3);
+        // Default observers are [collect]: incompatible with a source
+        // that promises bounded memory.
+        let err = streamed.validate().unwrap_err();
+        assert!(matches!(err, Error::ParseScenario { line: 0, .. }), "{err}");
+        assert!(err.to_string().contains("streamed trace source"), "{err}");
+        assert!(err.to_string().contains("collect"), "{err}");
+        // Swapping to a streaming observer fixes it.
+        let fixed = Scenario::new("s", TraceSource::streamed_csv("data/eth.csv"), 3)
+            .with_observers([ObserverSpec::StreamCsv(PathBuf::from("out"))]);
+        assert!(fixed.validate().is_ok());
+    }
+
+    #[test]
     fn parse_errors_carry_line_numbers() {
         let text = quick_effectiveness().to_text();
         let broken = text.replace("axis.k = 4, 16, 32", "axis.k = 4, banana");
@@ -1066,6 +1172,10 @@ mod tests {
 
         let err = Scenario::parse("name = x\ntrace = floppy:disk\neval_epochs = 1\n").unwrap_err();
         assert!(err.to_string().contains("unknown trace source"));
+
+        let err =
+            Scenario::parse("name = x\ntrace = streamed-csv:\neval_epochs = 1\n").unwrap_err();
+        assert!(err.to_string().contains("streamed-csv trace needs a path"));
 
         let err = Scenario::parse(&text.replace("strategies = Pilot,", "strategies = Pilot2,"))
             .unwrap_err();

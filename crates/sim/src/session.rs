@@ -1,12 +1,19 @@
-//! Simulation sessions: one materialised trace, many experiment cells.
+//! Simulation sessions: one trace, many experiment cells.
 //!
 //! A [`Simulation`] is the runnable form of a [`Scenario`]:
-//! [`Simulation::from_scenario`] validates the spec and materialises its
-//! trace **once** (generation or CSV load), holds it behind an [`Arc`],
-//! and [`Simulation::run`] drives every cell of the expanded grid over
-//! the order-stable worker pool — the single entry point that subsumes
-//! the historical `runner::run` / `run_custom` / `run_streaming` /
-//! `effectiveness_grid*` scatter.
+//! [`Simulation::from_scenario`] validates the spec and — for resident
+//! sources — materialises its trace **once** (generation or CSV load),
+//! holds it behind an [`Arc`], and [`Simulation::run`] drives every
+//! cell of the expanded grid over the order-stable worker pool — the
+//! single entry point that subsumes the historical `runner::run` /
+//! `run_custom` / `run_streaming` / `effectiveness_grid*` scatter.
+//!
+//! Streamed sources (`TraceSource::Streamed*`) never materialise: each
+//! cell opens its own [`mosaic_workload::EpochWindowStream`] and the
+//! engine's streaming loop holds only the current and previous τ-block
+//! windows (plus the incremental history graph), so session memory is
+//! bounded by the window size, not the trace length. Output bytes are
+//! identical to the materialised path on the same source.
 //!
 //! Sessions share traces: [`Simulation::with_trace`] builds a second
 //! session over the *same* `Arc` (no regeneration, no copy), which is
@@ -107,38 +114,64 @@ impl<T: RunObserver + ?Sized> RunObserver for &T {
     }
 }
 
+/// How a session accesses its transactions: a shared resident trace,
+/// or a streamed source each cell re-opens as a bounded window stream.
+enum TraceHandle {
+    /// The whole trace lives in memory behind a shareable [`Arc`].
+    Materialized(Arc<TransactionTrace>),
+    /// The trace is consumed through
+    /// [`mosaic_workload::TraceSource::window_stream`]; the source
+    /// itself lives in `Simulation::scenario`.
+    Streamed,
+}
+
 /// A runnable experiment session built from a [`Scenario`].
 pub struct Simulation {
     scenario: Scenario,
-    trace: Arc<TransactionTrace>,
+    trace: TraceHandle,
     cells: Vec<CellSpec>,
     observers: Vec<Box<dyn RunObserver>>,
 }
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation")
-            .field("scenario", &self.scenario.name)
-            .field("trace_txs", &self.trace.len())
-            .field("cells", &self.cells.len())
+        let mut s = f.debug_struct("Simulation");
+        s.field("scenario", &self.scenario.name);
+        match &self.trace {
+            TraceHandle::Materialized(trace) => s.field("trace_txs", &trace.len()),
+            TraceHandle::Streamed => s.field("trace", &"streamed"),
+        };
+        s.field("cells", &self.cells.len())
             .field("observers", &self.observers.len())
             .finish()
     }
 }
 
 impl Simulation {
-    /// Validates `scenario` and materialises its trace (synthetic
-    /// generation or CSV load) exactly once.
+    /// Validates `scenario` and, for resident sources, materialises its
+    /// trace (synthetic generation or CSV load) exactly once. Streamed
+    /// sources skip materialisation entirely: a 10M-account scenario
+    /// costs nothing to open; the windows flow at run time.
     ///
     /// # Errors
     ///
     /// Propagates scenario validation errors ([`Scenario::validate`]),
     /// [`Error::Io`] / [`Error::ParseTrace`] from trace loading, and
-    /// [`Error::EmptyTrace`] if the source yields no transactions.
+    /// [`Error::EmptyTrace`] if a resident source yields no
+    /// transactions (streamed sources report this at run time).
     pub fn from_scenario(scenario: Scenario) -> Result<Self> {
         // Validate before materialising: a spec error must not cost a
         // multi-minute trace generation first.
         scenario.validate()?;
+        if scenario.trace.is_streamed() {
+            let cells = scenario.cells()?;
+            return Ok(Simulation {
+                scenario,
+                trace: TraceHandle::Streamed,
+                cells,
+                observers: Vec::new(),
+            });
+        }
         let trace = Arc::new(scenario.trace.materialize()?);
         Simulation::with_trace(scenario, trace)
     }
@@ -150,16 +183,32 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Propagates scenario validation errors and [`Error::EmptyTrace`]
-    /// on an empty trace.
+    /// Propagates scenario validation errors, [`Error::EmptyTrace`] on
+    /// an empty trace, and [`Error::ParseScenario`] if the scenario
+    /// declares a streamed source — sharing one resident trace across
+    /// sessions contradicts a spec that promises never to materialise
+    /// it, so the combination is rejected rather than silently pinning
+    /// the trace in memory.
     pub fn with_trace(scenario: Scenario, trace: Arc<TransactionTrace>) -> Result<Self> {
+        if scenario.trace.is_streamed() {
+            return Err(Error::ParseScenario {
+                line: 0,
+                message: format!(
+                    "scenario '{}' declares a streamed trace source; a shared \
+                     materialised trace would pin the whole trace in memory. \
+                     Use Simulation::from_scenario, or switch the source to \
+                     its resident counterpart if sharing is intended",
+                    scenario.name
+                ),
+            });
+        }
         if trace.is_empty() {
             return Err(Error::EmptyTrace);
         }
         let cells = scenario.cells()?;
         Ok(Simulation {
             scenario,
-            trace,
+            trace: TraceHandle::Materialized(trace),
             cells,
             observers: Vec::new(),
         })
@@ -178,8 +227,23 @@ impl Simulation {
     }
 
     /// A clone of the shared trace handle (cheap: `Arc` bump, no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session runs a streamed source — there is no
+    /// resident trace to share. Use [`Simulation::try_trace`] when the
+    /// source kind is not statically known.
     pub fn trace(&self) -> Arc<TransactionTrace> {
-        Arc::clone(&self.trace)
+        self.try_trace()
+            .expect("streamed session holds no materialised trace; use try_trace()")
+    }
+
+    /// The shared resident trace, or `None` for a streamed session.
+    pub fn try_trace(&self) -> Option<Arc<TransactionTrace>> {
+        match &self.trace {
+            TraceHandle::Materialized(trace) => Some(Arc::clone(trace)),
+            TraceHandle::Streamed => None,
+        }
     }
 
     /// The expanded cells this session will run, in report order.
@@ -239,10 +303,18 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] on the sink's first failure.
+    /// Returns [`Error::Io`] on the sink's first failure, plus trace
+    /// open/parse errors for streamed sources.
     pub fn stream_cell(&self, cell: &CellSpec, out: &mut dyn io::Write) -> Result<RunSummary> {
-        crate::runner::run_streaming(&cell.config, &self.trace, out)
-            .map_err(|e| io_error("<stream sink>", &e))
+        match &self.trace {
+            TraceHandle::Materialized(trace) => {
+                crate::runner::run_streaming(&cell.config, trace, out)
+                    .map_err(|e| io_error("<stream sink>", &e))
+            }
+            TraceHandle::Streamed => {
+                crate::runner::run_streamed(&cell.config, &self.scenario.trace, out)
+            }
+        }
     }
 
     /// Runs one cell through the engine, fanning each metric row to the
@@ -263,25 +335,36 @@ impl Simulation {
 
         let mut per_epoch = Vec::new();
         let mut io_failure: Option<Error> = None;
-        let summary = engine::run_with_observer(
-            &cell.config,
-            &self.trace,
-            strategy,
-            &mut |epoch, metrics: &EpochMetrics| {
-                if collect {
-                    per_epoch.push(*metrics);
+        let mut on_epoch = |epoch: usize, metrics: &EpochMetrics| {
+            if collect {
+                per_epoch.push(*metrics);
+            }
+            for (path, writer) in &mut writers {
+                if let Err(e) = writer.write_epoch(metrics) {
+                    io_failure = Some(io_error(path.display(), &e));
+                    return false;
                 }
-                for (path, writer) in &mut writers {
-                    if let Err(e) = writer.write_epoch(metrics) {
-                        io_failure = Some(io_error(path.display(), &e));
-                        return false;
-                    }
-                }
-                self.observers
-                    .iter()
-                    .all(|obs| obs.on_epoch(cell, epoch, metrics))
-            },
-        );
+            }
+            self.observers
+                .iter()
+                .all(|obs| obs.on_epoch(cell, epoch, metrics))
+        };
+        let summary = match &self.trace {
+            TraceHandle::Materialized(trace) => {
+                engine::run_with_observer(&cell.config, trace, strategy, &mut on_epoch)
+            }
+            TraceHandle::Streamed => {
+                // Scenario validation already rejected streamed + collect,
+                // so `per_epoch` stays empty and memory stays bounded.
+                let mut stream = self.scenario.trace.window_stream()?;
+                engine::run_streamed_with_observer(
+                    &cell.config,
+                    &mut stream,
+                    strategy,
+                    &mut on_epoch,
+                )?
+            }
+        };
         if let Some(e) = io_failure {
             return Err(e);
         }
@@ -338,6 +421,59 @@ mod tests {
                 .unwrap(),
         )
         .with_strategies([Strategy::Mosaic, Strategy::Random])
+    }
+
+    /// `quick_scenario` with the source flipped to its streamed
+    /// counterpart (validation forbids streamed + `collect`, so the
+    /// observer becomes `stream-csv` into `dir`).
+    fn streamed_quick_scenario(dir: &std::path::Path) -> Scenario {
+        let mut scenario = quick_scenario();
+        scenario.trace = TraceSource::StreamedGenerated(Scale::quick().workload);
+        scenario.with_observers([ObserverSpec::StreamCsv(dir.to_path_buf())])
+    }
+
+    #[test]
+    fn with_trace_rejects_streamed_sources() {
+        let resident = Simulation::from_scenario(quick_scenario()).unwrap();
+        let dir = std::env::temp_dir().join("mosaic-session-reject");
+        let err =
+            Simulation::with_trace(streamed_quick_scenario(&dir), resident.trace()).unwrap_err();
+        assert!(matches!(err, Error::ParseScenario { line: 0, .. }), "{err}");
+        assert!(err.to_string().contains("streamed trace source"), "{err}");
+    }
+
+    #[test]
+    fn streamed_session_is_byte_identical_to_materialised() {
+        let dir = std::env::temp_dir().join("mosaic-session-streamed");
+        let resident = Simulation::from_scenario(quick_scenario()).unwrap();
+        let streamed = Simulation::from_scenario(streamed_quick_scenario(&dir)).unwrap();
+        assert!(streamed.try_trace().is_none());
+        assert_eq!(resident.cells().len(), streamed.cells().len());
+        // Cell-by-cell: the streamed session's CSV stream matches the
+        // resident session's exactly.
+        for (r, s) in resident.cells().iter().zip(streamed.cells()) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            let ra = resident.stream_cell(r, &mut a).unwrap();
+            let rb = streamed.stream_cell(s, &mut b).unwrap();
+            assert_eq!(a, b, "{}", r.label);
+            assert_eq!(ra.aggregate, rb.aggregate, "{}", r.label);
+        }
+        // And a full run: each stream-csv file the streamed session
+        // writes holds those same bytes.
+        let report = streamed.run().unwrap();
+        assert_eq!(report.cells.len(), resident.cells().len());
+        for (cell, grid) in streamed.cells().iter().zip(&report.cells) {
+            // No collect observer → nothing accumulated in memory.
+            assert!(grid.result.per_epoch.is_empty());
+            let path = dir.join(format!(
+                "{}.csv",
+                cell.file_stem(streamed.scenario().is_single_point())
+            ));
+            let mut expected = Vec::new();
+            streamed.stream_cell(cell, &mut expected).unwrap();
+            assert_eq!(fs::read(&path).unwrap(), expected, "{}", path.display());
+        }
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod allocation;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod interner;
 pub mod migration;
 pub mod params;
 pub mod transaction;
@@ -49,6 +50,7 @@ pub mod transaction;
 pub use allocation::{AccountShardMap, DefaultRule};
 pub use error::{Error, Result};
 pub use ids::{AccountId, BlockHeight, EpochId, ShardId, TxId};
+pub use interner::AccountInterner;
 pub use migration::MigrationRequest;
 pub use params::{LambdaPolicy, SystemParams, SystemParamsBuilder};
 pub use transaction::{Transaction, TxAccounts, TxKind};

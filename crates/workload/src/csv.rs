@@ -43,26 +43,7 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<TransactionTrace> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut fields = trimmed.split(',').map(str::trim);
-        let block = parse_u64(fields.next(), "block", line_no)?;
-        let from = parse_u64(fields.next(), "from", line_no)?;
-        let to = parse_u64(fields.next(), "to", line_no)?;
-        let kind = match fields.next() {
-            None | Some("") | Some("transfer") => TxKind::Transfer,
-            Some("call") => TxKind::ContractCall,
-            Some(other) => {
-                return Err(Error::ParseTrace {
-                    line: line_no,
-                    message: format!("unknown kind '{other}'"),
-                })
-            }
-        };
-        if fields.next().is_some() {
-            return Err(Error::ParseTrace {
-                line: line_no,
-                message: "too many fields".into(),
-            });
-        }
+        let (block, from, to, kind) = parse_data_line(trimmed, line_no)?;
         txs.push(Transaction::with_kind(
             TxId::new(txs.len() as u64),
             AccountId::new(from),
@@ -71,7 +52,43 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<TransactionTrace> {
             kind,
         ));
     }
-    Ok(TransactionTrace::new(txs))
+    // ETL exports are block-ordered, so the common case needs no sort at
+    // all: one sortedness scan, then the zero-cost `from_sorted`
+    // constructor. `TransactionTrace::new` sorts *stably*, so falling back
+    // to it on unsorted input produces the identical trace.
+    if txs.windows(2).all(|w| w[0].block <= w[1].block) {
+        Ok(TransactionTrace::from_sorted(txs))
+    } else {
+        Ok(TransactionTrace::new(txs))
+    }
+}
+
+/// Parses one non-comment, non-blank data line (`block,from,to[,kind]`,
+/// already trimmed). Shared between the materialising [`read_trace`] and
+/// the bounded-buffer streaming reader, so both accept exactly the same
+/// dialect.
+pub(crate) fn parse_data_line(trimmed: &str, line_no: usize) -> Result<(u64, u64, u64, TxKind)> {
+    let mut fields = trimmed.split(',').map(str::trim);
+    let block = parse_u64(fields.next(), "block", line_no)?;
+    let from = parse_u64(fields.next(), "from", line_no)?;
+    let to = parse_u64(fields.next(), "to", line_no)?;
+    let kind = match fields.next() {
+        None | Some("") | Some("transfer") => TxKind::Transfer,
+        Some("call") => TxKind::ContractCall,
+        Some(other) => {
+            return Err(Error::ParseTrace {
+                line: line_no,
+                message: format!("unknown kind '{other}'"),
+            })
+        }
+    };
+    if fields.next().is_some() {
+        return Err(Error::ParseTrace {
+            line: line_no,
+            message: "too many fields".into(),
+        });
+    }
+    Ok((block, from, to, kind))
 }
 
 /// Writes `trace` in the same format accepted by [`read_trace`].
@@ -139,6 +156,29 @@ mod tests {
         assert_eq!(trace.transactions()[0].kind, TxKind::ContractCall);
         assert_eq!(trace.transactions()[1].kind, TxKind::Transfer);
         assert_eq!(trace.transactions()[2].kind, TxKind::Transfer);
+    }
+
+    #[test]
+    fn unsorted_input_matches_stable_sort_of_sorted_fast_path() {
+        // Same multiset of rows, one file block-ordered and one shuffled:
+        // the shuffled read must equal the stable sort of its rows, i.e.
+        // the fast path and the sorting path agree on ties (TxIds are
+        // assigned by line index, so ties keep file order either way).
+        let sorted = read_trace("0,1,2\n0,3,4\n1,5,6\n2,7,8\n".as_bytes()).unwrap();
+        let shuffled = read_trace("2,7,8\n0,1,2\n0,3,4\n1,5,6\n".as_bytes()).unwrap();
+        assert!(sorted
+            .transactions()
+            .windows(2)
+            .all(|w| w[0].block <= w[1].block));
+        assert!(shuffled
+            .transactions()
+            .windows(2)
+            .all(|w| w[0].block <= w[1].block));
+        // The shuffled file's tie (the two block-0 rows) keeps file order.
+        let blocks: Vec<u64> = shuffled.iter().map(|t| t.block.as_u64()).collect();
+        assert_eq!(blocks, [0, 0, 1, 2]);
+        assert_eq!(shuffled.transactions()[0].from, AccountId::new(1));
+        assert_eq!(shuffled.transactions()[1].from, AccountId::new(3));
     }
 
     #[test]

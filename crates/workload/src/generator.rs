@@ -199,6 +199,91 @@ impl GenState {
     }
 }
 
+/// Lazily emits the exact trace [`generate`] would produce, block by
+/// block, without ever materialising it.
+///
+/// The generator is a pure function of its [`WorkloadConfig`] (seed
+/// included), so a suspended cursor over the per-block loop reproduces
+/// the materialised trace byte for byte — [`generate`] is itself
+/// implemented as one `emit_through(cfg.blocks)` call on this stream.
+/// Memory is bounded by the generator's per-account state (O(accounts)),
+/// never by the trace length (O(blocks × txs_per_block)).
+///
+/// The cursor is forward-only: [`GeneratedStream::emit_through`] appends
+/// all transactions of blocks `[position, to)` and advances.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_workload::{generate, GeneratedStream, WorkloadConfig};
+/// let cfg = WorkloadConfig::small_test(1);
+/// let mut stream = GeneratedStream::new(&cfg);
+/// let mut windowed = Vec::new();
+/// while stream.position() < stream.blocks() {
+///     let to = stream.position() + 3; // any chunking works
+///     stream.emit_through(to, &mut windowed);
+/// }
+/// assert_eq!(windowed, generate(&cfg).trace().transactions());
+/// ```
+pub struct GeneratedStream {
+    cfg: WorkloadConfig,
+    state: GenState,
+    next_block: u64,
+    next_id: u64,
+}
+
+impl GeneratedStream {
+    /// Creates a stream positioned at block 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`WorkloadConfig::validate`]).
+    pub fn new(cfg: &WorkloadConfig) -> Self {
+        cfg.validate();
+        GeneratedStream {
+            cfg: cfg.clone(),
+            state: GenState::new(cfg),
+            next_block: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Total number of blocks this stream will emit (`cfg.blocks`).
+    pub fn blocks(&self) -> u64 {
+        self.cfg.blocks
+    }
+
+    /// The next block the stream will emit.
+    pub fn position(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Appends every transaction of blocks `[position, min(to, blocks))`
+    /// to `buf` and advances the cursor. A no-op once the stream is past
+    /// `to` (the cursor never rewinds).
+    pub fn emit_through(&mut self, to: u64, buf: &mut Vec<Transaction>) {
+        let to = to.min(self.cfg.blocks);
+        while self.next_block < to {
+            self.state.apply_churn(&self.cfg);
+            self.state.apply_drift(&self.cfg);
+            for _ in 0..self.cfg.txs_per_block {
+                let from = self.state.sample_sender();
+                let (receiver, kind) = self.state.sample_receiver(&self.cfg, from);
+                buf.push(Transaction::with_kind(
+                    TxId::new(self.next_id),
+                    from,
+                    receiver,
+                    BlockHeight::new(self.next_block),
+                    kind,
+                ));
+                self.next_id += 1;
+            }
+            self.next_block += 1;
+        }
+    }
+}
+
 /// Generates a deterministic synthetic trace from `cfg`.
 ///
 /// # Panics
@@ -214,28 +299,11 @@ impl GenState {
 /// assert_eq!(w.trace().len(), WorkloadConfig::small_test(1).total_txs());
 /// ```
 pub fn generate(cfg: &WorkloadConfig) -> GeneratedWorkload {
-    cfg.validate();
-    let mut state = GenState::new(cfg);
+    let mut stream = GeneratedStream::new(cfg);
     let mut txs = Vec::with_capacity(cfg.total_txs());
-    let mut next_id = 0u64;
+    stream.emit_through(cfg.blocks, &mut txs);
 
-    for block in 0..cfg.blocks {
-        state.apply_churn(cfg);
-        state.apply_drift(cfg);
-        for _ in 0..cfg.txs_per_block {
-            let from = state.sample_sender();
-            let (to, kind) = state.sample_receiver(cfg, from);
-            txs.push(Transaction::with_kind(
-                TxId::new(next_id),
-                from,
-                to,
-                BlockHeight::new(block),
-                kind,
-            ));
-            next_id += 1;
-        }
-    }
-
+    let GeneratedStream { state, .. } = stream;
     let total_accounts = state.community.len();
     GeneratedWorkload {
         trace: TransactionTrace::from_sorted(txs),
@@ -257,6 +325,25 @@ mod tests {
         let b = generate(&cfg);
         assert_eq!(a.trace().transactions(), b.trace().transactions());
         assert_eq!(a.hubs(), b.hubs());
+    }
+
+    #[test]
+    fn streamed_emission_matches_generate_at_any_chunking() {
+        let cfg = WorkloadConfig::small_test(23).with_churn(0.3);
+        let reference = generate(&cfg);
+        for chunk in [1u64, 2, 3, 7, 1000] {
+            let mut stream = GeneratedStream::new(&cfg);
+            let mut txs = Vec::new();
+            while stream.position() < stream.blocks() {
+                let to = stream.position() + chunk;
+                stream.emit_through(to, &mut txs);
+            }
+            assert_eq!(
+                txs.as_slice(),
+                reference.trace().transactions(),
+                "chunk size {chunk} diverged"
+            );
+        }
     }
 
     #[test]

@@ -42,12 +42,14 @@ pub mod csv;
 pub mod generator;
 pub mod source;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod zipf;
 
 pub use config::WorkloadConfig;
-pub use generator::{generate, GeneratedWorkload};
+pub use generator::{generate, GeneratedStream, GeneratedWorkload};
 pub use source::TraceSource;
 pub use stats::TraceStats;
+pub use stream::EpochWindowStream;
 pub use trace::{EpochWindows, TransactionTrace};
 pub use zipf::ZipfSampler;

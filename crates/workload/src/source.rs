@@ -15,9 +15,16 @@ use mosaic_types::{Error, Result};
 
 use crate::config::WorkloadConfig;
 use crate::generator::generate;
+use crate::stream::EpochWindowStream;
 use crate::trace::TransactionTrace;
 
 /// A declarative description of a transaction trace.
+///
+/// The `Streamed*` variants describe the *same* traces as their
+/// materialising counterparts — [`TraceSource::materialize`] produces
+/// identical bytes for both — but declare that experiments should
+/// consume them through an [`EpochWindowStream`] in bounded memory
+/// rather than a resident `Vec<Transaction>`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceSource {
     /// Generate synthetically from a [`WorkloadConfig`] (the trace is a
@@ -26,6 +33,12 @@ pub enum TraceSource {
     /// Load from a `block,from,to[,kind]` CSV file ([`crate::csv`]) —
     /// the reduction an Ethereum ETL export produces.
     Csv(PathBuf),
+    /// The same trace as [`TraceSource::Generated`], emitted lazily
+    /// block by block so it is never materialised.
+    StreamedGenerated(WorkloadConfig),
+    /// The same trace as [`TraceSource::Csv`], read in block order
+    /// through a bounded buffer. The file must be block-ordered.
+    StreamedCsv(PathBuf),
 }
 
 impl TraceSource {
@@ -34,16 +47,34 @@ impl TraceSource {
         TraceSource::Csv(path.into())
     }
 
-    /// The workload config behind a generated source, if any.
+    /// A streamed CSV source for `path` (block-ordered file required).
+    pub fn streamed_csv(path: impl Into<PathBuf>) -> Self {
+        TraceSource::StreamedCsv(path.into())
+    }
+
+    /// The workload config behind a generated source (streamed or not),
+    /// if any.
     pub fn workload(&self) -> Option<&WorkloadConfig> {
         match self {
-            TraceSource::Generated(config) => Some(config),
-            TraceSource::Csv(_) => None,
+            TraceSource::Generated(config) | TraceSource::StreamedGenerated(config) => Some(config),
+            TraceSource::Csv(_) | TraceSource::StreamedCsv(_) => None,
         }
     }
 
+    /// `true` for sources that experiments must consume through
+    /// [`TraceSource::window_stream`] instead of materialising.
+    pub fn is_streamed(&self) -> bool {
+        matches!(
+            self,
+            TraceSource::StreamedGenerated(_) | TraceSource::StreamedCsv(_)
+        )
+    }
+
     /// Produces the trace this source describes. Generation is
-    /// deterministic; loading parses the file once.
+    /// deterministic; loading parses the file once. Streamed sources
+    /// materialise to the identical trace as their resident counterparts
+    /// — useful for equivalence testing at scales where the trace still
+    /// fits in memory (sessions refuse to do this implicitly).
     ///
     /// # Errors
     ///
@@ -51,11 +82,32 @@ impl TraceSource {
     /// [`Error::ParseTrace`] if its contents are malformed.
     pub fn materialize(&self) -> Result<TransactionTrace> {
         match self {
-            TraceSource::Generated(config) => Ok(generate(config).into_trace()),
-            TraceSource::Csv(path) => {
+            TraceSource::Generated(config) | TraceSource::StreamedGenerated(config) => {
+                Ok(generate(config).into_trace())
+            }
+            TraceSource::Csv(path) | TraceSource::StreamedCsv(path) => {
                 let file = File::open(path).map_err(|e| io_error(path, &e))?;
                 crate::csv::read_trace(BufReader::new(file))
             }
+        }
+    }
+
+    /// Opens a bounded-memory window stream over this source's trace.
+    /// Works for every variant (materialising sources stream too, which
+    /// is how equivalence is tested), but `Streamed*` sources make it
+    /// the *only* sanctioned access path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if a CSV file cannot be opened and
+    /// [`Error::ParseTrace`] if its block column is malformed or out of
+    /// order (streaming cannot sort).
+    pub fn window_stream(&self) -> Result<EpochWindowStream> {
+        match self {
+            TraceSource::Generated(config) | TraceSource::StreamedGenerated(config) => {
+                Ok(EpochWindowStream::generated(config))
+            }
+            TraceSource::Csv(path) | TraceSource::StreamedCsv(path) => EpochWindowStream::csv(path),
         }
     }
 }
@@ -102,6 +154,26 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_variants_materialize_and_stream_the_same_trace() {
+        let config = WorkloadConfig::small_test(13).with_blocks(20);
+        let resident = TraceSource::Generated(config.clone());
+        let streamed = TraceSource::StreamedGenerated(config.clone());
+        assert!(!resident.is_streamed());
+        assert!(streamed.is_streamed());
+        assert_eq!(streamed.workload(), Some(&config));
+        let trace = resident.materialize().unwrap();
+        assert_eq!(streamed.materialize().unwrap(), trace);
+        // The window stream (available for every variant) replays the
+        // materialised trace exactly.
+        for source in [&resident, &streamed] {
+            let mut stream = source.window_stream().unwrap();
+            let mut txs = Vec::new();
+            stream.read_to(stream.blocks(), &mut txs).unwrap();
+            assert_eq!(txs.as_slice(), trace.transactions());
+        }
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! ~2|T|/|A| transactions per account) and to report dataset summaries in
 //! the experiment harness.
 
-use mosaic_types::hash::FnvHashMap;
-use mosaic_types::AccountId;
+use mosaic_types::AccountInterner;
 
 use crate::trace::TransactionTrace;
 
@@ -45,22 +44,30 @@ pub struct TraceStats {
 
 impl TraceStats {
     /// Computes statistics for `trace` in a single pass plus a sort over
-    /// the degree vector.
+    /// the degree vector. Accounts are interned to dense `u32` ids so
+    /// the degree counters live in a flat vector rather than a hash map
+    /// of `(AccountId, usize)` pairs — at 10M+ accounts that halves the
+    /// footprint of this pass and keeps the counting loop cache-friendly.
     pub fn compute(trace: &TransactionTrace) -> Self {
-        let mut degree: FnvHashMap<AccountId, usize> = FnvHashMap::default();
+        let mut interner = AccountInterner::new();
+        let mut degree: Vec<usize> = Vec::new();
         for tx in trace.iter() {
             for a in tx.accounts() {
-                *degree.entry(a).or_default() += 1;
+                let id = interner.intern(a) as usize;
+                if id == degree.len() {
+                    degree.push(0);
+                }
+                degree[id] += 1;
             }
         }
         let transactions = trace.len();
-        let accounts = degree.len();
+        let accounts = interner.len();
         let blocks = match (trace.min_block(), trace.max_block()) {
             (Some(lo), Some(hi)) => hi.as_u64() - lo.as_u64() + 1,
             _ => 0,
         };
 
-        let mut degrees: Vec<usize> = degree.values().copied().collect();
+        let mut degrees = degree;
         degrees.sort_unstable();
         let endpoints: usize = degrees.iter().sum();
 
@@ -119,7 +126,7 @@ mod tests {
     use super::*;
     use crate::config::WorkloadConfig;
     use crate::generator::generate;
-    use mosaic_types::{BlockHeight, Transaction, TxId};
+    use mosaic_types::{AccountId, BlockHeight, Transaction, TxId};
 
     #[test]
     fn gini_of_uniform_is_zero() {

@@ -25,7 +25,8 @@ fn every_registry_strategy_yields_valid_shards_for_all_accounts() {
         assert_eq!(built.name(), strategy.name());
         let mut history = History::new();
         history.extend(train);
-        let (phi, _elapsed) = built.initial_allocation(train, &mut history, k);
+        built.observe_training(train);
+        let (phi, _elapsed) = built.initial_allocation(&mut history, k);
         assert_eq!(phi.shards(), k, "{strategy}: wrong shard count");
         // ϕ is total (Definition 1): every account of the whole trace —
         // including evaluation-only accounts the initial allocation never

@@ -1,14 +1,22 @@
 //! Golden equivalence: `Simulation::from_scenario` reproduces the
 //! legacy entry points — `runner::run`, `runner::run_streaming`, and the
-//! hand-wired effectiveness grid — byte-for-byte on the same seed, and
-//! the checked-in `scenarios/` files are exactly their presets.
+//! hand-wired effectiveness grid — byte-for-byte on the same seed; the
+//! streamed window pipeline reproduces the materialised engine
+//! byte-for-byte on arbitrary workloads; and the checked-in
+//! `scenarios/` files are exactly their presets.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mosaic::prelude::*;
 use mosaic::sim::runner;
-use mosaic::sim::{experiments, ObserverSpec, Scenario, Simulation};
+use mosaic::sim::{experiments, ObserverSpec, Parallelism, Scenario, Simulation};
+use mosaic::workload::{TraceSource, WorkloadConfig};
+use proptest::prelude::*;
+
+// Both glob imports export a `Strategy` (the registry enum and
+// proptest's generation trait); the experiments below mean the enum.
+use mosaic::sim::Strategy;
 
 fn legacy_grid(scale: &Scale, trace: &TransactionTrace) -> Vec<experiments::GridCell> {
     // The pre-scenario oracle: the hand-wired parameter grid driven cell
@@ -85,6 +93,89 @@ fn scenario_stream_csv_matches_legacy_run_streaming() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The streaming tentpole's contract: for *any* workload shape,
+    /// epoch length, worker count and strategy, driving the engine from
+    /// an `EpochWindowStream` writes exactly the bytes the materialised
+    /// trace produces, with a bit-identical aggregate.
+    #[test]
+    fn streamed_pipeline_is_byte_identical_to_materialised(
+        seed in 0u64..100_000,
+        accounts in 10usize..200,
+        blocks in 30u64..120,
+        txs_per_block in 1usize..6,
+        tau in 1u32..40,
+        workers in 1usize..5,
+        churn in 0u8..3,
+        strategy_idx in 0usize..Strategy::ALL.len(),
+    ) {
+        let mut workload = WorkloadConfig::small_test(seed);
+        workload.initial_accounts = accounts;
+        workload.blocks = blocks;
+        workload.txs_per_block = txs_per_block;
+        workload.new_accounts_per_block = f64::from(churn) * 0.3;
+        let strategy = Strategy::ALL[strategy_idx];
+        let params = SystemParams::builder()
+            .shards(4)
+            .eta(2.0)
+            .tau(tau)
+            .build()
+            .unwrap();
+        let config = ExperimentConfig::new(params, strategy, 200)
+            .with_cell_parallelism(Parallelism::Threads(workers));
+
+        let trace = generate(&workload).into_trace();
+        let mut resident: Vec<u8> = Vec::new();
+        let collected = runner::run_streaming(&config, &trace, &mut resident).unwrap();
+
+        let source = TraceSource::StreamedGenerated(workload);
+        let mut streamed: Vec<u8> = Vec::new();
+        let summary = runner::run_streamed(&config, &source, &mut streamed).unwrap();
+
+        prop_assert_eq!(
+            String::from_utf8(streamed).unwrap(),
+            String::from_utf8(resident).unwrap(),
+            "{} @ tau={} workers={}: streamed CSV diverged",
+            strategy, tau, workers
+        );
+        prop_assert_eq!(summary.aggregate, collected.aggregate);
+        prop_assert_eq!(summary.epochs, collected.epochs);
+        prop_assert_eq!(summary.total_migrations, collected.total_migrations);
+    }
+}
+
+#[test]
+fn streamed_csv_source_matches_materialised_run() {
+    // End-to-end through the bounded-buffer CSV reader: write a
+    // generated trace to disk, then drive the experiment from a
+    // `streamed-csv` source and byte-compare against the resident run.
+    let scale = Scale::quick();
+    let trace = generate(&scale.workload).into_trace();
+    let dir = std::env::temp_dir().join("mosaic-streamed-csv-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.csv");
+    let mut bytes = Vec::new();
+    mosaic::workload::csv::write_trace(&trace, &mut bytes).unwrap();
+    std::fs::write(&path, bytes).unwrap();
+
+    let params = SystemParams::builder()
+        .shards(4)
+        .eta(2.0)
+        .tau(scale.tau)
+        .build()
+        .unwrap();
+    for strategy in Strategy::ALL {
+        let config = ExperimentConfig::new(params, strategy, scale.eval_epochs);
+        let mut resident: Vec<u8> = Vec::new();
+        runner::run_streaming(&config, &trace, &mut resident).unwrap();
+        let mut streamed: Vec<u8> = Vec::new();
+        runner::run_streamed(&config, &TraceSource::streamed_csv(&path), &mut streamed).unwrap();
+        assert_eq!(streamed, resident, "{strategy}: streamed-csv run diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn scenarios_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
 }
@@ -138,6 +229,7 @@ fn checked_in_scenario_files_are_canonical_presets() {
             "ablation-default.scenario",
             experiments::ablation_base(&Scale::default_scale()),
         ),
+        ("huge.scenario", Scenario::huge()),
     ];
     for (file, preset) in &pinned {
         let text = std::fs::read_to_string(scenarios_dir().join(file)).unwrap();

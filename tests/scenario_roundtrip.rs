@@ -71,12 +71,13 @@ proptest! {
         grid_par in 0u8..3,
         cell_par in 0u8..3,
         workers in 1usize..16,
-        csv_trace in 0u8..2,
+        trace_kind in 0u8..4,
     ) {
-        let trace = if csv_trace == 1 {
-            TraceSource::csv(format!("data/trace-{seed}.csv"))
-        } else {
-            TraceSource::Generated(WorkloadConfig::small_test(seed))
+        let trace = match trace_kind {
+            0 => TraceSource::Generated(WorkloadConfig::small_test(seed)),
+            1 => TraceSource::csv(format!("data/trace-{seed}.csv")),
+            2 => TraceSource::StreamedGenerated(WorkloadConfig::small_test(seed)),
+            _ => TraceSource::streamed_csv(format!("data/trace-{seed}.csv")),
         };
         let base = SystemParams::builder()
             .shards(shards)
@@ -97,10 +98,16 @@ proptest! {
             .map(|(_, s)| s)
             .collect();
         let stream_dir = PathBuf::from(format!("out/run-{seed}"));
-        let observers = match observer_kind {
-            0 => vec![ObserverSpec::Collect],
-            1 => vec![ObserverSpec::StreamCsv(stream_dir)],
-            _ => vec![ObserverSpec::Collect, ObserverSpec::StreamCsv(stream_dir)],
+        // Streamed sources reject the collect observer (validate()), so
+        // those specs always observe through stream-csv only.
+        let observers = if trace.is_streamed() {
+            vec![ObserverSpec::StreamCsv(stream_dir)]
+        } else {
+            match observer_kind {
+                0 => vec![ObserverSpec::Collect],
+                1 => vec![ObserverSpec::StreamCsv(stream_dir)],
+                _ => vec![ObserverSpec::Collect, ObserverSpec::StreamCsv(stream_dir)],
+            }
         };
 
         let scenario = Scenario {
