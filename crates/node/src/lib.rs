@@ -1,0 +1,43 @@
+//! **mosaic-node** — the live form of the allocation pipeline.
+//!
+//! The batch simulator and this service are two drivers over the same
+//! incremental [`AllocationCore`](mosaic_sim::AllocationCore): the
+//! simulator feeds it materialised epoch windows, the node feeds it a
+//! transaction stream arriving over a line-oriented TCP endpoint and
+//! lets the core detect τ-block epoch boundaries itself. Because both
+//! paths fold training data and process epochs through the same state
+//! machine, a replayed scenario produces **byte-identical** per-epoch
+//! CSV to the offline run — asserted by this crate's tests and the
+//! `node-smoke` CI job.
+//!
+//! * [`proto`] — the wire protocol: `BEGIN`/`TX`/`END` streaming,
+//!   `LOOKUP` (shard-of-account), `LOAD` (per-shard load + migration
+//!   protocol state), `CSV` (per-epoch rows), `SHUTDOWN`;
+//! * [`session`] — [`NodeSession`], the protocol-facing state machine
+//!   over one core;
+//! * [`server`] — [`serve`]: thread-per-connection front end funnelling
+//!   into a single core thread (per-shard work parallelises inside the
+//!   ledger's worker pool);
+//! * [`replay`] — the replay client ([`replay()`](replay::replay)):
+//!   drives any checked-in `.scenario` file through a live node and
+//!   collects the node-side CSV.
+//!
+//! The `mosaic-node` binary exposes both sides:
+//!
+//! ```text
+//! mosaic-node serve  --scenario scenarios/quick.scenario --addr 127.0.0.1:4600
+//! mosaic-node replay --scenario scenarios/quick.scenario --addr 127.0.0.1:4600 --out node-results
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod proto;
+pub mod replay;
+pub mod server;
+pub mod session;
+
+pub use proto::{Request, Response};
+pub use replay::{offline_baseline_seconds, CellReplay, NodeClient, ReplayReport};
+pub use server::serve;
+pub use session::NodeSession;

@@ -1,0 +1,189 @@
+//! The replay client: drives any checked-in [`Scenario`] through a
+//! live node and collects the per-epoch CSV the node produced.
+//!
+//! For every cell of the scenario the client opens a bounded-memory
+//! window stream over the scenario's trace source, declares the block
+//! span with `BEGIN`, pours the transactions down the socket as `TX`
+//! lines (buffered, no per-transaction round trip), then `END`s the
+//! stream and fetches the node-side `CSV` — which is byte-identical to
+//! what the offline runner writes for the same cell, because both are
+//! the same [`AllocationCore`](mosaic_sim::AllocationCore) pipeline.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use mosaic_sim::{RunTarget, Scenario, Simulation};
+use mosaic_types::{Error, Result, Transaction};
+
+use crate::proto::{Request, Response};
+
+/// How many blocks of trace each socket write batch spans.
+const CHUNK_BLOCKS: u64 = 256;
+
+/// A line-oriented client connection to a `mosaic-node` service.
+pub struct NodeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl NodeClient {
+    /// Connects to a node at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on connection failure.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_error(addr, &e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| io_error(addr, &e))?);
+        Ok(NodeClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends `request` and waits for its reply. Not for `TX` lines —
+    /// those are fire-and-forget; use [`NodeClient::send_tx`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on socket failure or a malformed reply.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        writeln!(self.writer, "{}", request.encode()).map_err(|e| io_error("<node>", &e))?;
+        self.writer.flush().map_err(|e| io_error("<node>", &e))?;
+        Response::read_from(&mut self.reader).map_err(|e| io_error("<node>", &e))
+    }
+
+    /// Queues one `TX` line into the send buffer (no reply, no flush —
+    /// the next [`NodeClient::request`] flushes before it waits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on socket failure.
+    pub fn send_tx(&mut self, tx: &Transaction) -> Result<()> {
+        writeln!(self.writer, "{}", Request::Tx(*tx).encode()).map_err(|e| io_error("<node>", &e))
+    }
+
+    /// Sends `request` and unwraps an `OK` reply into its detail text,
+    /// turning `ERR` replies into errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] carrying the node's `ERR` message, or on an
+    /// unexpected reply shape.
+    pub fn expect_ok(&mut self, request: &Request) -> Result<String> {
+        match self.request(request)? {
+            Response::Ok(detail) => Ok(detail),
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// The node-side CSV of one replayed cell.
+pub struct CellReplay {
+    /// The cell's file stem ([`CellSpec::file_stem`]) — where the
+    /// offline runner would have written the same bytes.
+    ///
+    /// [`CellSpec::file_stem`]: mosaic_sim::scenario::CellSpec::file_stem
+    pub stem: String,
+    /// The per-epoch CSV exactly as the node accumulated it.
+    pub csv: String,
+}
+
+/// What one full replay produced.
+pub struct ReplayReport {
+    /// Per-cell CSVs, in scenario cell order.
+    pub cells: Vec<CellReplay>,
+    /// Transactions sent over the socket, across all cells.
+    pub txs: u64,
+    /// Wall-clock seconds for the whole replay (trace generation,
+    /// socket I/O, and node-side epoch processing included).
+    pub seconds: f64,
+}
+
+/// Replays every cell of `scenario` against the node at `addr`.
+///
+/// # Errors
+///
+/// Returns scenario validation errors, trace open/parse errors, and
+/// [`Error::Io`] on socket failures or node-side `ERR` replies.
+pub fn replay(addr: &str, scenario: &Scenario) -> Result<ReplayReport> {
+    let cells = scenario.clone().with_target(RunTarget::Node).cells()?;
+    let single_point = scenario.is_single_point();
+    let mut client = NodeClient::connect(addr)?;
+    let start = Instant::now();
+    let mut txs = 0u64;
+    let mut replayed = Vec::with_capacity(cells.len());
+    let mut window: Vec<Transaction> = Vec::new();
+    for (index, cell) in cells.iter().enumerate() {
+        let mut stream = scenario.trace.window_stream()?;
+        let blocks = stream.blocks();
+        client.expect_ok(&Request::Begin {
+            cell: index,
+            blocks,
+        })?;
+        while stream.position() < blocks {
+            let to = (stream.position() + CHUNK_BLOCKS).min(blocks);
+            window.clear();
+            stream.read_to(to, &mut window)?;
+            for tx in &window {
+                client.send_tx(tx)?;
+            }
+            txs += window.len() as u64;
+        }
+        client.expect_ok(&Request::End)?;
+        let csv = match client.request(&Request::Csv)? {
+            Response::Csv(lines) => {
+                let mut csv = lines.join("\n");
+                csv.push('\n');
+                csv
+            }
+            Response::Error(message) => return Err(protocol_error(message)),
+            other => return Err(protocol_error(format!("unexpected CSV reply {other:?}"))),
+        };
+        replayed.push(CellReplay {
+            stem: cell.file_stem(single_point),
+            csv,
+        });
+    }
+    Ok(ReplayReport {
+        cells: replayed,
+        txs,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs the same cells offline through [`Simulation::stream_cell`] and
+/// returns the wall-clock seconds, the throughput denominator for the
+/// replay benchmark (`BENCH_node.json`'s `speedup` =
+/// node tx/s ÷ offline tx/s, a machine-independent ratio).
+///
+/// # Errors
+///
+/// Propagates scenario validation and engine errors.
+pub fn offline_baseline_seconds(scenario: &Scenario) -> Result<f64> {
+    let cells = scenario.cells()?;
+    let start = Instant::now();
+    // Trace materialisation is timed, matching the replay path which
+    // regenerates the trace inside its own timed loop.
+    let simulation = Simulation::from_scenario(scenario.clone())?;
+    for cell in &cells {
+        simulation.stream_cell(cell, &mut std::io::sink())?;
+    }
+    Ok(start.elapsed().as_secs_f64())
+}
+
+fn io_error(path: &str, e: &std::io::Error) -> Error {
+    Error::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    }
+}
+
+fn protocol_error(message: String) -> Error {
+    Error::Io {
+        path: "<node>".to_string(),
+        message,
+    }
+}

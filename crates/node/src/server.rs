@@ -1,0 +1,143 @@
+//! The TCP service: thread-per-connection front end, one core thread.
+//!
+//! Connections each get an OS thread that reads request lines and
+//! forwards them over an mpsc channel to the single *core thread*
+//! owning the [`NodeSession`](crate::session::NodeSession). Requests
+//! from all connections are therefore applied in one global arrival
+//! order — `LOOKUP`s from a monitoring connection interleave safely
+//! with a replay stream — while the heavy per-shard epoch work still
+//! parallelises inside the ledger's worker pool
+//! (`cell_parallelism`). `TX` lines travel without a reply channel, so
+//! a replay stream is never round-trip-bound.
+//!
+//! Shutdown: a `SHUTDOWN` request flips a shared flag and pokes the
+//! listener with a loopback connection so the accept loop observes the
+//! flag; [`serve`] then drains its handler threads and joins the core
+//! thread before returning.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use mosaic_sim::{RunTarget, Scenario};
+use mosaic_types::{Error, Result};
+
+use crate::proto::{Request, Response};
+use crate::session::NodeSession;
+
+/// One request line in flight from a connection thread to the core
+/// thread. `reply` is `None` for fire-and-forget `TX` lines.
+struct CoreMsg {
+    line: String,
+    reply: Option<mpsc::Sender<Response>>,
+}
+
+/// Serves `scenario` on `listener` until a client sends `SHUTDOWN`.
+///
+/// # Errors
+///
+/// Returns scenario validation errors up front (before any client can
+/// connect) and [`Error::Io`] on listener failures.
+pub fn serve(listener: TcpListener, scenario: Scenario) -> Result<()> {
+    // Fail fast on an invalid spec — NodeSession::new re-validates, but
+    // only on the core thread, where the error could no longer be
+    // returned to the caller.
+    scenario.clone().with_target(RunTarget::Node).cells()?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| io_error("<listener>", &e))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (core_tx, core_rx) = mpsc::channel::<CoreMsg>();
+
+    // The session (and its boxed strategy) is built on the core thread
+    // and never crosses threads, so no Send bound is imposed on
+    // EpochStrategy implementations.
+    let core = thread::Builder::new()
+        .name("mosaic-node-core".to_string())
+        .spawn(move || {
+            let mut session = NodeSession::new(scenario).expect("scenario pre-validated");
+            while let Ok(CoreMsg { line, reply }) = core_rx.recv() {
+                let response = session.apply_line(&line);
+                if let (Some(reply), Some(response)) = (reply, response) {
+                    let _ = reply.send(response);
+                }
+            }
+        })
+        .map_err(|e| io_error("<core thread>", &e))?;
+
+    let mut handlers = Vec::new();
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(stream) => stream,
+            Err(e) => return Err(io_error(&addr.to_string(), &e)),
+        };
+        let core_tx = core_tx.clone();
+        let stop = Arc::clone(&stop);
+        handlers.push(thread::spawn(move || {
+            // A connection dying mid-request only ends that connection.
+            let _ = handle_connection(stream, &core_tx, &stop, addr);
+        }));
+    }
+
+    drop(core_tx);
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    core.join().map_err(|_| Error::Io {
+        path: addr.to_string(),
+        message: "core thread panicked".to_string(),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    core: &mpsc::Sender<CoreMsg>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let is_shutdown = line.trim() == "SHUTDOWN";
+        if Request::expects_reply(&line) {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if core
+                .send(CoreMsg {
+                    line,
+                    reply: Some(reply_tx),
+                })
+                .is_err()
+            {
+                break;
+            }
+            let Ok(response) = reply_rx.recv() else { break };
+            response.write_to(&mut writer)?;
+            writer.flush()?;
+        } else if core.send(CoreMsg { line, reply: None }).is_err() {
+            break;
+        }
+        if is_shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn io_error(path: &str, e: &std::io::Error) -> Error {
+    Error::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,275 @@
+//! The node-side state machine: one [`AllocationCore`] behind the wire
+//! protocol.
+//!
+//! A [`NodeSession`] owns the scenario's expanded cell list and at most
+//! one *active run* — an [`AllocationCore`] plus its strategy, created
+//! at `BEGIN` and driven transaction-by-transaction through the core's
+//! event API. The per-epoch CSV text is appended row-by-row exactly as
+//! [`mosaic_metrics::EpochCsvWriter`] would write it, which is what
+//! makes the `CSV` reply byte-identical to the offline runner's files.
+//!
+//! The session is single-threaded by design: the server funnels every
+//! connection's requests through one core thread (per-shard parallelism
+//! lives *inside* the ledger's worker pool), so ordering is the arrival
+//! order on the channel and no locking is needed here.
+
+use mosaic_metrics::report::EPOCH_CSV_HEADER;
+use mosaic_metrics::EpochMetrics;
+use mosaic_sim::scenario::CellSpec;
+use mosaic_sim::{AllocationCore, EpochStrategy, LoadReport, RunTarget, Scenario};
+use mosaic_types::{Result, Transaction};
+
+use crate::proto::{Request, Response};
+
+/// The run started by the last `BEGIN`.
+struct ActiveRun {
+    core: AllocationCore<'static>,
+    strategy: Box<dyn EpochStrategy>,
+    /// Header + one row per processed epoch, byte-identical to the
+    /// offline stream-csv output for the same cell.
+    csv: String,
+    rows_written: usize,
+}
+
+/// The protocol-facing state of one `mosaic-node` service.
+pub struct NodeSession {
+    cells: Vec<CellSpec>,
+    active: Option<ActiveRun>,
+    /// First error of a fire-and-forget `TX` line, reported at `END`.
+    deferred: Option<String>,
+    /// Scratch buffer for rows closed by one ingest call.
+    rows: Vec<EpochMetrics>,
+}
+
+impl NodeSession {
+    /// Builds a session over `scenario`, forced to the
+    /// [`RunTarget::Node`] target (so `collect`-observer specs are
+    /// rejected) and expanded to its cell list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Scenario::cells`] validation errors.
+    pub fn new(scenario: Scenario) -> Result<Self> {
+        let cells = scenario.with_target(RunTarget::Node).cells()?;
+        Ok(NodeSession {
+            cells,
+            active: None,
+            deferred: None,
+            rows: Vec::new(),
+        })
+    }
+
+    /// The expanded cell list clients address by `BEGIN <cell>` index.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Parses and applies one request line. `None` means the line gets
+    /// no reply (`TX`, including malformed `TX` lines — their parse
+    /// error is deferred to `END` like any other ingestion error).
+    pub fn apply_line(&mut self, line: &str) -> Option<Response> {
+        match Request::parse(line) {
+            Ok(request) => self.apply(request),
+            Err(message) => {
+                if Request::expects_reply(line) {
+                    Some(Response::Error(message))
+                } else {
+                    self.defer(message);
+                    None
+                }
+            }
+        }
+    }
+
+    /// Applies one parsed request. `None` only for [`Request::Tx`].
+    pub fn apply(&mut self, request: Request) -> Option<Response> {
+        match request {
+            Request::Begin { cell, blocks } => Some(self.begin(cell, blocks)),
+            Request::Tx(tx) => {
+                self.ingest(tx);
+                None
+            }
+            Request::End => Some(self.end()),
+            Request::Lookup(account) => Some(
+                match self.active.as_ref().and_then(|r| r.core.lookup(account)) {
+                    Some(shard) => Response::Shard(shard.as_u16()),
+                    None => Response::Error(
+                        "no allocation yet; the initial allocation runs once the stream crosses \
+                         the training cut"
+                            .to_string(),
+                    ),
+                },
+            ),
+            Request::Load => Some(
+                match self.active.as_ref().and_then(|r| r.core.load_report()) {
+                    Some(report) => Response::Load(load_lines(&report)),
+                    None => Response::Error("no epoch processed yet".to_string()),
+                },
+            ),
+            Request::Csv => Some(match &self.active {
+                Some(run) => Response::Csv(run.csv.lines().map(str::to_string).collect()),
+                None => Response::Error("no active run; send BEGIN first".to_string()),
+            }),
+            Request::Shutdown => Some(Response::Ok("shutdown".to_string())),
+        }
+    }
+
+    fn begin(&mut self, cell: usize, blocks: u64) -> Response {
+        self.deferred = None;
+        let Some(spec) = self.cells.get(cell) else {
+            return Response::Error(format!(
+                "cell {cell} out of range (scenario has {} cells)",
+                self.cells.len()
+            ));
+        };
+        let mut core = AllocationCore::new(spec.config);
+        let strategy = spec.config.strategy.build(spec.config.params);
+        match core.begin(blocks) {
+            Ok(()) => {
+                self.active = Some(ActiveRun {
+                    core,
+                    strategy,
+                    csv: format!("{EPOCH_CSV_HEADER}\n"),
+                    rows_written: 0,
+                });
+                Response::Ok(format!("cell {cell} ({})", spec.config.strategy.name()))
+            }
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    fn ingest(&mut self, tx: Transaction) {
+        if self.deferred.is_some() {
+            return;
+        }
+        let Some(run) = self.active.as_mut() else {
+            self.deferred = Some("TX arrived before BEGIN".to_string());
+            return;
+        };
+        self.rows.clear();
+        match run
+            .core
+            .ingest_tx(run.strategy.as_mut(), tx, &mut self.rows)
+        {
+            Ok(()) => append_rows(run, &self.rows),
+            Err(e) => self.deferred = Some(e.to_string()),
+        }
+    }
+
+    fn end(&mut self) -> Response {
+        if let Some(message) = self.deferred.take() {
+            return Response::Error(format!("stream aborted: {message}"));
+        }
+        let Some(run) = self.active.as_mut() else {
+            return Response::Error("END before BEGIN".to_string());
+        };
+        self.rows.clear();
+        match run.core.end_stream(run.strategy.as_mut(), &mut self.rows) {
+            Ok(()) => {
+                append_rows(run, &self.rows);
+                Response::Ok(format!("{} epochs", run.core.epochs_processed()))
+            }
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    fn defer(&mut self, message: String) {
+        if self.deferred.is_none() {
+            self.deferred = Some(message);
+        }
+    }
+}
+
+fn append_rows(run: &mut ActiveRun, rows: &[EpochMetrics]) {
+    for metrics in rows {
+        run.csv.push_str(&metrics.csv_row(run.rows_written));
+        run.csv.push('\n');
+        run.rows_written += 1;
+    }
+}
+
+/// The `LOAD` reply body: whole-run and last-epoch protocol counters,
+/// then one `shard <i> <intra> <cross>` line per shard.
+fn load_lines(report: &LoadReport) -> Vec<String> {
+    let mut lines = vec![
+        format!("epoch {}", report.epoch),
+        format!("epochs_processed {}", report.epochs_processed),
+        format!("lambda {}", report.lambda),
+        format!("committed_migrations {}", report.committed_migrations),
+        format!("migrations_applied {}", report.migrations_applied),
+        format!("migrations_stale {}", report.migrations_stale),
+        format!("miners_moved {}", report.miners_moved),
+        format!("total_migrations {}", report.total_migrations),
+        format!("beacon_blocks {}", report.beacon_blocks),
+        format!("network_bytes {}", report.network_bytes),
+    ];
+    for shard in &report.shards {
+        lines.push(format!(
+            "shard {} {} {}",
+            shard.shard, shard.intra_txs, shard.cross_txs
+        ));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sim::{Scale, Scenario};
+    use mosaic_types::AccountId;
+
+    fn session() -> NodeSession {
+        NodeSession::new(Scenario::full_protocol(&Scale::quick())).unwrap()
+    }
+
+    #[test]
+    fn collect_observer_scenarios_are_rejected() {
+        // Scenario::new defaults to the collect observer, which the node
+        // target forbids.
+        let scenario = Scenario::effectiveness(&Scale::quick());
+        let err = NodeSession::new(scenario).err().expect("must be rejected");
+        assert!(err.to_string().contains("node/replay target"), "{err}");
+    }
+
+    #[test]
+    fn queries_before_begin_are_protocol_errors_not_panics() {
+        let mut s = session();
+        assert!(matches!(
+            s.apply(Request::Lookup(AccountId::new(1))),
+            Some(Response::Error(_))
+        ));
+        assert!(matches!(s.apply(Request::Load), Some(Response::Error(_))));
+        assert!(matches!(s.apply(Request::Csv), Some(Response::Error(_))));
+        assert!(matches!(s.apply(Request::End), Some(Response::Error(_))));
+    }
+
+    #[test]
+    fn tx_before_begin_defers_the_error_to_end() {
+        let mut s = session();
+        assert!(s.apply_line("TX 0 0 1 2 transfer").is_none());
+        let Some(Response::Error(message)) = s.apply(Request::End) else {
+            panic!("END after a bad TX must fail");
+        };
+        assert!(message.contains("before BEGIN"), "{message}");
+        // The deferred error is consumed: a fresh BEGIN starts clean.
+        assert!(matches!(
+            s.apply(Request::Begin {
+                cell: 0,
+                blocks: 100
+            }),
+            Some(Response::Ok(_))
+        ));
+    }
+
+    #[test]
+    fn begin_rejects_out_of_range_cells() {
+        let mut s = session();
+        let Some(Response::Error(message)) = s.apply(Request::Begin {
+            cell: 99,
+            blocks: 10,
+        }) else {
+            panic!("out-of-range cell must fail");
+        };
+        assert!(message.contains("out of range"), "{message}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property test: the node wire format round-trips exactly — every
+//! request through `encode`/`parse`, every response through
+//! `write_to`/`read_from` — for arbitrary field values.
+
+use std::io::Cursor;
+
+use mosaic_node::{Request, Response};
+use mosaic_types::{AccountId, BlockHeight, Transaction, TxId, TxKind};
+use proptest::prelude::*;
+
+fn request_from(kind: u8, a: u64, b: u64, c: u64, d: u64) -> Request {
+    match kind % 7 {
+        0 => Request::Begin {
+            cell: (a % 1024) as usize,
+            blocks: b.max(1),
+        },
+        1 => Request::Tx(Transaction::with_kind(
+            TxId::new(a),
+            AccountId::new(b),
+            AccountId::new(c),
+            BlockHeight::new(d),
+            if a.is_multiple_of(2) {
+                TxKind::Transfer
+            } else {
+                TxKind::ContractCall
+            },
+        )),
+        2 => Request::End,
+        3 => Request::Lookup(AccountId::new(a)),
+        4 => Request::Load,
+        5 => Request::Csv,
+        _ => Request::Shutdown,
+    }
+}
+
+fn response_from(kind: u8, a: u64, b: u64, lines: &[u64]) -> Response {
+    let rendered: Vec<String> = lines
+        .iter()
+        .map(|&v| format!("shard {} {} {}", v % 64, v, v.wrapping_mul(3)))
+        .collect();
+    match kind % 5 {
+        0 => Response::Ok(if a.is_multiple_of(2) {
+            String::new()
+        } else {
+            format!("cell {a} ({b} epochs)")
+        }),
+        1 => Response::Error(format!("block {a} arrived after block {b}")),
+        2 => Response::Shard((a % u64::from(u16::MAX)) as u16),
+        3 => Response::Load(rendered),
+        _ => Response::Csv(rendered),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn requests_roundtrip_through_the_wire_format(
+        kind in 0u8..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in 0u64..u64::MAX,
+        d in 0u64..u64::MAX,
+    ) {
+        let request = request_from(kind, a, b, c, d);
+        let line = request.encode();
+        prop_assert!(!line.contains('\n'), "requests are single lines: {line:?}");
+        let back = Request::parse(&line).unwrap();
+        prop_assert_eq!(&back, &request, "diverged through {}", line);
+        // The line form is canonical: re-encoding is byte-stable.
+        prop_assert_eq!(back.encode(), line);
+        // Framing agreement: exactly the TX lines are fire-and-forget.
+        prop_assert_eq!(
+            Request::expects_reply(&request.encode()),
+            !matches!(request, Request::Tx(_))
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_wire_format(
+        kind in 0u8..5,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        lines in proptest::collection::vec(0u64..u64::MAX, 0..8),
+    ) {
+        let response = response_from(kind, a, b, &lines);
+        let mut bytes = Vec::new();
+        response.write_to(&mut bytes).unwrap();
+        let back = Response::read_from(&mut Cursor::new(&bytes[..])).unwrap();
+        prop_assert_eq!(&back, &response);
+        // Canonical: writing the decoded response is byte-stable.
+        let mut again = Vec::new();
+        back.write_to(&mut again).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end equivalence: replaying `scenarios/quick.scenario` through
+//! an in-process `mosaic-node` service produces byte-identical
+//! per-epoch CSV to the offline [`Simulation`] run of the same cells —
+//! the node and the simulator are two drivers over one
+//! [`AllocationCore`](mosaic_sim::AllocationCore).
+
+use std::net::TcpListener;
+use std::thread;
+
+use mosaic_node::replay::replay;
+use mosaic_node::{serve, NodeClient, Request, Response};
+use mosaic_sim::{Scenario, Simulation};
+use mosaic_types::AccountId;
+
+fn quick_scenario() -> Scenario {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/quick.scenario"
+    );
+    Scenario::load(path).expect("checked-in scenario parses")
+}
+
+#[test]
+fn node_replay_matches_offline_run_byte_for_byte() {
+    let scenario = quick_scenario();
+
+    // Offline: stream every cell's CSV into memory.
+    let cells = scenario.cells().unwrap();
+    let single_point = scenario.is_single_point();
+    let simulation = Simulation::from_scenario(scenario.clone()).unwrap();
+    let offline: Vec<(String, String)> = cells
+        .iter()
+        .map(|cell| {
+            let mut bytes = Vec::new();
+            simulation.stream_cell(cell, &mut bytes).unwrap();
+            (
+                cell.file_stem(single_point),
+                String::from_utf8(bytes).unwrap(),
+            )
+        })
+        .collect();
+
+    // Live: boot the service on an ephemeral port and replay into it.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let serve_scenario = scenario.clone();
+    let server = thread::spawn(move || serve(listener, serve_scenario));
+
+    let report = replay(&addr, &scenario).unwrap();
+    assert!(report.txs > 0, "replay sent no transactions");
+    assert_eq!(report.cells.len(), offline.len());
+    for (replayed, (stem, csv)) in report.cells.iter().zip(&offline) {
+        assert_eq!(&replayed.stem, stem);
+        assert_eq!(
+            replayed.csv, *csv,
+            "node-side CSV for cell {stem} diverged from the offline run"
+        );
+    }
+
+    // The last replayed cell is still queryable: lookups resolve and the
+    // load report covers every shard of the cell's parameter point.
+    let mut client = NodeClient::connect(&addr).unwrap();
+    let shards = cells.last().unwrap().config.params.shards();
+    match client.request(&Request::Lookup(AccountId::new(0))).unwrap() {
+        Response::Shard(shard) => assert!(shard < shards),
+        other => panic!("LOOKUP answered {other:?}"),
+    }
+    match client.request(&Request::Load).unwrap() {
+        Response::Load(lines) => {
+            assert!(
+                lines.iter().any(|l| l.starts_with("epochs_processed")),
+                "{lines:?}"
+            );
+            let shard_lines = lines.iter().filter(|l| l.starts_with("shard ")).count();
+            assert_eq!(shard_lines, usize::from(shards));
+        }
+        other => panic!("LOAD answered {other:?}"),
+    }
+
+    client.expect_ok(&Request::Shutdown).unwrap();
+    server.join().unwrap().unwrap();
+}

@@ -65,6 +65,10 @@ impl GlobalAllocator for HashAllocator {
     fn allocate(&self, _graph: &TxGraph, k: u16) -> AccountShardMap {
         AccountShardMap::with_rule(k, self.rule)
     }
+
+    fn uses_graph(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

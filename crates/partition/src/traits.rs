@@ -26,6 +26,18 @@ pub trait GlobalAllocator {
     /// Computes an allocation of every account in `graph` over `k` shards.
     fn allocate(&self, graph: &TxGraph, k: u16) -> AccountShardMap;
 
+    /// `true` if [`GlobalAllocator::allocate`] reads the transaction
+    /// graph at all. Rule-only allocators (hash-based Random) return
+    /// `false`: their ϕ is a pure function of the shard count, so the
+    /// streamed experiment pipeline can skip building the training
+    /// graph entirely when such an allocator is the only consumer — the
+    /// memory/time win `huge.scenario` relies on. Implementations
+    /// returning `false` must produce an identical result for every
+    /// graph argument, including the empty graph.
+    fn uses_graph(&self) -> bool {
+        true
+    }
+
     /// [`GlobalAllocator::allocate`] with an explicit worker-pool sizing
     /// for the allocator's internal scans.
     ///

@@ -1,0 +1,676 @@
+//! The incremental allocation core: one pipeline behind every driver.
+//!
+//! [`AllocationCore`] owns the pieces the batch epoch loop used to
+//! interleave inline — incremental [`History`]/CSR training-graph
+//! absorption, [`EpochStrategy`] invocation at τ-block boundaries, the
+//! migration protocol (beacon commits, reconfiguration, per-shard
+//! processing via [`mosaic_chain::Ledger`]), and an always-queryable
+//! `shard_of` map — so that the offline batch paths
+//! ([`crate::engine::run_with_observer`],
+//! [`crate::engine::run_streamed_with_observer`],
+//! [`crate::session::Simulation`]) and a live `mosaic-node` service are
+//! thin drivers over the *same* state machine, byte-identical by
+//! construction.
+//!
+//! Two layers of API:
+//!
+//! * **Batch primitives** — [`AllocationCore::ingest_training`] /
+//!   [`AllocationCore::ingest_training_chunk`],
+//!   [`AllocationCore::finish_training`],
+//!   [`AllocationCore::process_epoch`], and the `commit_window_*`
+//!   methods. Drivers that already hold whole epoch windows (the
+//!   materialised and streamed engine loops) call these in exactly the
+//!   sequence the historical loops used, which is what keeps the
+//!   equivalence harness (`tests/scenario_equivalence.rs`, the
+//!   determinism CI gate) byte-green across the refactor.
+//! * **Event API** — [`AllocationCore::begin`],
+//!   [`AllocationCore::ingest_tx`] / [`AllocationCore::ingest_block`],
+//!   [`AllocationCore::end_stream`]. Transactions arrive one at a time
+//!   (a socket, a mempool feed); the core detects τ-block epoch
+//!   boundaries itself, closes epochs as they complete, and hands the
+//!   per-epoch metric rows back. Queries ([`AllocationCore::lookup`],
+//!   [`AllocationCore::load_report`]) are answerable at any point.
+//!
+//! Both layers fold training data and process epochs through the same
+//! code, and both orderings are chunking-invariant folds in block
+//! order, so the event-driven rows are byte-identical to the batch rows
+//! for the same trace (asserted end-to-end by the `mosaic-node` replay
+//! tests and CI job).
+
+use std::time::Duration;
+
+use mosaic_chain::Ledger;
+use mosaic_metrics::timing::DurationStats;
+use mosaic_metrics::{AggregateBuilder, EpochMetrics};
+use mosaic_types::{AccountId, Error, Result, ShardId, Transaction};
+
+use crate::engine::{EpochCtx, EpochStrategy, History, MigrationCount, RunSummary};
+use crate::runner::ExperimentConfig;
+
+/// How a training chunk is folded into the [`History`].
+///
+/// The distinction exists because the streamed training loop wants the
+/// un-merged graph delta bounded by one chunk ([`TrainingFold::Merge`])
+/// except for the final recent-window chunk (kept un-merged so the
+/// initial allocation pays for exactly one merge, matching the
+/// materialised loop's cost accounting), while strategies that never
+/// read the training graph at all skip edge accumulation entirely
+/// ([`TrainingFold::Skip`]) — the RSS/time win large streamed scenarios
+/// rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingFold {
+    /// Absorb the chunk's edges and merge them into the maintained CSR.
+    Merge,
+    /// Absorb the chunk's edges but leave the merge to the next
+    /// [`History::graph`] call (used for the final training chunk).
+    Defer,
+    /// Record only the transaction count; build no graph state. Valid
+    /// only when the strategy neither consumes history after the
+    /// initial allocation nor reads the training graph in it
+    /// ([`skips_training_graph`]).
+    Skip,
+}
+
+/// `true` if `strategy` lets the streamed pipeline skip training-graph
+/// accumulation entirely: it never consults the history after the
+/// initial allocation *and* its initial allocation never reads the
+/// graph (e.g. the hash-based Random baseline). Such strategies see an
+/// empty graph at initial-allocation time, which by contract
+/// ([`EpochStrategy::needs_training_graph`]) yields the identical ϕ.
+pub fn skips_training_graph(strategy: &dyn EpochStrategy) -> bool {
+    !strategy.consumes_history() && !strategy.needs_training_graph()
+}
+
+/// Per-shard slice of the last processed epoch's load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard.
+    pub shard: u16,
+    /// Intra-shard transactions the shard processed last epoch.
+    pub intra_txs: usize,
+    /// Cross-shard transactions the shard was the home shard for.
+    pub cross_txs: usize,
+}
+
+/// A queryable snapshot of the chain state after the last processed
+/// epoch — what a live node serves for "per-shard load metrics",
+/// assembled from `chain::{beacon, ledger, reconfig}` state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Identifier of the last processed epoch.
+    pub epoch: u64,
+    /// Number of evaluation epochs processed so far.
+    pub epochs_processed: usize,
+    /// The per-shard migration capacity λ used last epoch.
+    pub lambda: f64,
+    /// Migration requests the beacon committed at the last boundary.
+    pub committed_migrations: usize,
+    /// Committed migrations applied to ϕ last epoch
+    /// ([`mosaic_chain::ReconfigReport`]).
+    pub migrations_applied: usize,
+    /// Committed migrations whose `from` shard was stale.
+    pub migrations_stale: usize,
+    /// Miners reshuffled last epoch.
+    pub miners_moved: usize,
+    /// Migrations counted over the whole run so far.
+    pub total_migrations: usize,
+    /// Blocks on the beacon chain.
+    pub beacon_blocks: usize,
+    /// Total network bytes metered since the run started.
+    pub network_bytes: u64,
+    /// Last epoch's per-shard intra/cross transaction counts.
+    pub shards: Vec<ShardLoad>,
+}
+
+/// Fields of the last processed epoch the core keeps for
+/// [`AllocationCore::load_report`].
+#[derive(Debug, Clone)]
+struct EpochSnapshot {
+    epoch: u64,
+    lambda: f64,
+    committed: usize,
+    migrations_applied: usize,
+    migrations_stale: usize,
+    miners_moved: usize,
+    intra: Vec<usize>,
+    cross: Vec<usize>,
+}
+
+/// Where the event-driven feed currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Ingesting the training prefix `[0, cut_block)`.
+    Training,
+    /// Ingesting evaluation windows of τ blocks each.
+    Evaluating,
+    /// `eval_epochs` epochs processed (or the stream ended); further
+    /// transactions are ignored, queries stay answerable.
+    Done,
+}
+
+/// Windowing state of the event-driven feed ([`AllocationCore::begin`]).
+#[derive(Debug)]
+struct StreamState {
+    blocks: u64,
+    cut_block: u64,
+    recent_start: u64,
+    phase: Phase,
+    /// Start block of the training chunk / evaluation window being
+    /// buffered.
+    window_start: u64,
+    /// Highest block number ingested so far (monotonicity check).
+    high_block: Option<u64>,
+    /// Transactions of the current chunk/window.
+    buf: Vec<Transaction>,
+    /// The previous epoch's transactions (initially the last τ blocks
+    /// of training).
+    recent: Vec<Transaction>,
+}
+
+/// The incremental epoch-allocation state machine.
+///
+/// Create with [`AllocationCore::new`], feed the training prefix, call
+/// [`AllocationCore::finish_training`], then process evaluation windows
+/// — either explicitly (batch primitives) or transaction-by-transaction
+/// (event API). See the [module docs](self) for the two layers.
+#[derive(Debug)]
+pub struct AllocationCore<'t> {
+    config: ExperimentConfig,
+    history: History<'t>,
+    ledger: Option<Ledger>,
+    init_time: Duration,
+    aggregate: AggregateBuilder,
+    alloc_stats: DurationStats,
+    input_bytes_sum: f64,
+    input_samples: usize,
+    total_migrations: usize,
+    last_epoch: Option<EpochSnapshot>,
+    stream: Option<StreamState>,
+}
+
+impl<'t> AllocationCore<'t> {
+    /// A fresh core for one experiment cell. No allocation exists until
+    /// [`AllocationCore::finish_training`] runs.
+    pub fn new(config: ExperimentConfig) -> Self {
+        AllocationCore {
+            config,
+            history: History::new(),
+            ledger: None,
+            init_time: Duration::ZERO,
+            aggregate: AggregateBuilder::new(),
+            alloc_stats: DurationStats::default(),
+            input_bytes_sum: 0.0,
+            input_samples: 0,
+            total_migrations: 0,
+            last_epoch: None,
+            stream: None,
+        }
+    }
+
+    /// The cell configuration this core runs.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The chain state, once [`AllocationCore::finish_training`] has
+    /// built it.
+    pub fn ledger(&self) -> Option<&Ledger> {
+        self.ledger.as_ref()
+    }
+
+    /// Number of evaluation epochs processed so far.
+    pub fn epochs_processed(&self) -> usize {
+        self.aggregate.epochs()
+    }
+
+    // ------------------------------------------------------------------
+    // Batch primitives
+    // ------------------------------------------------------------------
+
+    /// Ingests the whole training prefix as one borrowed slice (the
+    /// materialised driver): O(1) history append plus one
+    /// [`EpochStrategy::observe_training`] call.
+    pub fn ingest_training(&mut self, strategy: &mut dyn EpochStrategy, train: &'t [Transaction]) {
+        self.history.extend(train);
+        strategy.observe_training(train);
+    }
+
+    /// Ingests one owned training chunk (the streamed driver and the
+    /// event API): the chunk is observed, folded per `fold`, and may be
+    /// dropped by the caller immediately after.
+    pub fn ingest_training_chunk(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        chunk: &[Transaction],
+        fold: TrainingFold,
+    ) {
+        strategy.observe_training(chunk);
+        match fold {
+            TrainingFold::Merge => {
+                self.history.absorb(chunk);
+                // Merge each chunk into the maintained CSR as it
+                // arrives, so the un-merged delta (a hash map over
+                // edges) stays bounded by one chunk instead of growing
+                // to the whole training prefix. The CSR content is
+                // independent of merge points.
+                let _ = self.history.graph();
+            }
+            TrainingFold::Defer => self.history.absorb(chunk),
+            TrainingFold::Skip => self.history.record_unretained(chunk.len()),
+        }
+    }
+
+    /// Runs the strategy's initial allocation on the ingested training
+    /// history and builds the chain state (ledger, beacon, miners)
+    /// around the resulting ϕ. After this, [`AllocationCore::lookup`]
+    /// answers and epochs can be processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ledger::new`] construction errors (inconsistent
+    /// shard/miner counts).
+    pub fn finish_training(&mut self, strategy: &mut dyn EpochStrategy) -> Result<()> {
+        let (initial_phi, init_time) =
+            strategy.initial_allocation(&mut self.history, self.config.params.shards());
+        self.init_time = init_time;
+        let mut ledger = Ledger::new(
+            self.config.params,
+            initial_phi,
+            self.config.resolved_miner_count(),
+        )?;
+        ledger.set_migration_capacity(self.config.migration_capacity);
+        ledger.set_parallelism(self.config.cell_parallelism);
+        self.ledger = Some(ledger);
+        Ok(())
+    }
+
+    /// Frees the accreted training graph if `strategy` will never
+    /// consult the history again — the memory bound streamed sessions
+    /// rely on. The materialised driver never calls this (its history
+    /// borrows from the resident trace and costs nothing extra).
+    pub fn release_history_if_unused(&mut self, strategy: &dyn EpochStrategy) {
+        if !strategy.consumes_history() {
+            self.history.release();
+        }
+    }
+
+    /// Processes one evaluation window through the full epoch protocol:
+    /// strategy decision, allocation install, beacon commit bounded by
+    /// λ, reconfiguration, per-shard processing, metric extraction. The
+    /// returned row has already been folded into the running aggregate.
+    ///
+    /// Deliberately stops *before* the strategy observes the committed
+    /// window: drivers fan the row to their observers first and only
+    /// commit the window ([`AllocationCore::commit_window_retained`] /
+    /// [`AllocationCore::commit_window_owned`]) when the run continues,
+    /// which preserves the historical abort semantics exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AllocationCore::finish_training`] has not run.
+    pub fn process_epoch(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        window: &[Transaction],
+        recent: &[Transaction],
+    ) -> EpochMetrics {
+        let ledger = self
+            .ledger
+            .as_mut()
+            .expect("finish_training must run before epochs are processed");
+        let decision = strategy.before_epoch(
+            ledger,
+            EpochCtx {
+                window,
+                recent_window: recent,
+                history: &mut self.history,
+                params: self.config.params,
+                parallelism: self.config.cell_parallelism,
+            },
+        );
+        if let Some(elapsed) = decision.alloc_time {
+            self.alloc_stats.record(elapsed);
+        }
+        if let Some(bytes) = decision.input_bytes {
+            self.input_bytes_sum += bytes;
+            self.input_samples += 1;
+        }
+        if let Some(phi) = decision.new_phi {
+            ledger.set_allocation(phi).expect("same shard count");
+        }
+
+        let outcome = ledger.process_epoch(window);
+        let migrations = match decision.migrations {
+            MigrationCount::Moves(n) => n,
+            MigrationCount::CommittedRequests => outcome.committed.len(),
+        };
+        self.total_migrations += migrations;
+        let metrics = EpochMetrics::from_load(&outcome.load, migrations);
+        self.aggregate.push(&metrics);
+        self.last_epoch = Some(EpochSnapshot {
+            epoch: outcome.epoch.as_u64(),
+            lambda: outcome.lambda,
+            committed: outcome.committed.len(),
+            migrations_applied: outcome.reconfig.migrations_applied,
+            migrations_stale: outcome.reconfig.migrations_stale,
+            miners_moved: outcome.reconfig.miners_moved,
+            intra: outcome.load.intra_counts().to_vec(),
+            cross: outcome.load.cross_counts().to_vec(),
+        });
+        metrics
+    }
+
+    /// Commits a processed window whose transactions outlive the core
+    /// (the materialised driver): the strategy observes it, then the
+    /// history retains the slice in O(1).
+    pub fn commit_window_retained(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        window: &'t [Transaction],
+    ) {
+        strategy.after_epoch(window);
+        self.history.extend(window);
+    }
+
+    /// Commits a processed window the caller owns (streamed driver,
+    /// event API): the strategy observes it, then the history either
+    /// absorbs its edges or — for strategies that never consult the
+    /// history again — records only the count.
+    pub fn commit_window_owned(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        window: &[Transaction],
+    ) {
+        strategy.after_epoch(window);
+        if strategy.consumes_history() {
+            self.history.absorb(window);
+        } else {
+            self.history.record_unretained(window.len());
+        }
+    }
+
+    /// The run summary over everything processed so far — bit-identical
+    /// to what the historical batch loops returned at the same point.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            epochs: self.aggregate.epochs(),
+            aggregate: self.aggregate.finish(),
+            init_seconds: self.init_time.as_secs_f64(),
+            mean_alloc_seconds: self.alloc_stats.mean_seconds(),
+            mean_input_bytes: if self.input_samples == 0 {
+                0.0
+            } else {
+                self.input_bytes_sum / self.input_samples as f64
+            },
+            total_migrations: self.total_migrations,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The shard currently responsible for `account`, or `None` before
+    /// the initial allocation exists. Total over accounts: unknown
+    /// accounts resolve through ϕ's hash-based default rule.
+    pub fn lookup(&self, account: AccountId) -> Option<ShardId> {
+        self.ledger.as_ref().map(|l| l.phi().shard_of(account))
+    }
+
+    /// Per-shard load and migration-protocol state after the last
+    /// processed epoch, or `None` before the first epoch completes.
+    pub fn load_report(&self) -> Option<LoadReport> {
+        let ledger = self.ledger.as_ref()?;
+        let snap = self.last_epoch.as_ref()?;
+        let shards = snap
+            .intra
+            .iter()
+            .zip(&snap.cross)
+            .enumerate()
+            .map(|(shard, (&intra_txs, &cross_txs))| ShardLoad {
+                shard: shard as u16,
+                intra_txs,
+                cross_txs,
+            })
+            .collect();
+        Some(LoadReport {
+            epoch: snap.epoch,
+            epochs_processed: self.aggregate.epochs(),
+            lambda: snap.lambda,
+            committed_migrations: snap.committed,
+            migrations_applied: snap.migrations_applied,
+            migrations_stale: snap.migrations_stale,
+            miners_moved: snap.miners_moved,
+            total_migrations: self.total_migrations,
+            beacon_blocks: ledger.beacon().len(),
+            network_bytes: ledger.meter().total(),
+            shards,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Event API
+    // ------------------------------------------------------------------
+
+    /// Starts an event-driven feed spanning `blocks` blocks total. The
+    /// training cut and τ windowing are derived exactly as the streamed
+    /// batch loop derives them, so the rows the feed produces are
+    /// byte-identical to a batch run over the same trace.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyTrace`] if `blocks` is zero.
+    pub fn begin(&mut self, blocks: u64) -> Result<()> {
+        if blocks == 0 {
+            return Err(Error::EmptyTrace);
+        }
+        let cut_block = ((blocks as f64) * self.config.train_fraction).floor() as u64;
+        let recent_start = cut_block.saturating_sub(u64::from(self.config.params.tau()));
+        self.stream = Some(StreamState {
+            blocks,
+            cut_block,
+            recent_start,
+            phase: Phase::Training,
+            window_start: 0,
+            high_block: None,
+            buf: Vec::new(),
+            recent: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Feeds one transaction. Blocks must arrive in non-decreasing
+    /// order; when `tx` crosses a τ-block boundary the core closes the
+    /// finished chunk/epoch first (training chunks fold into the
+    /// history; evaluation epochs run the full protocol and push their
+    /// metric row onto `rows`). Transactions past the `eval_epochs`
+    /// cap are ignored, mirroring the batch loop leaving the trace tail
+    /// unread.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotInitialized`] before [`AllocationCore::begin`],
+    /// [`Error::ParseTrace`] on an out-of-order or out-of-range block,
+    /// plus [`AllocationCore::finish_training`] errors at the cut.
+    pub fn ingest_tx(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        tx: Transaction,
+        rows: &mut Vec<EpochMetrics>,
+    ) -> Result<()> {
+        let state = self
+            .stream
+            .as_mut()
+            .ok_or(Error::NotInitialized("call begin() before ingest_tx()"))?;
+        let block = tx.block.as_u64();
+        if let Some(high) = state.high_block {
+            if block < high {
+                return Err(Error::ParseTrace {
+                    line: 0,
+                    message: format!(
+                        "block {block} arrived after block {high} (stream must be block-ordered)"
+                    ),
+                });
+            }
+        }
+        if block >= state.blocks {
+            return Err(Error::ParseTrace {
+                line: 0,
+                message: format!(
+                    "block {block} out of range (stream declared {} blocks)",
+                    state.blocks
+                ),
+            });
+        }
+        state.high_block = Some(block);
+        self.advance_to(strategy, block, rows)?;
+        let state = self.stream.as_mut().expect("stream state present");
+        if state.phase != Phase::Done {
+            state.buf.push(tx);
+        }
+        Ok(())
+    }
+
+    /// [`AllocationCore::ingest_tx`] over a whole block (or any
+    /// block-ordered batch) of transactions.
+    ///
+    /// # Errors
+    ///
+    /// As [`AllocationCore::ingest_tx`].
+    pub fn ingest_block(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        txs: &[Transaction],
+        rows: &mut Vec<EpochMetrics>,
+    ) -> Result<()> {
+        for tx in txs {
+            self.ingest_tx(strategy, *tx, rows)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the feed: closes the remaining training chunks (running the
+    /// initial allocation if the cut was never crossed), then the
+    /// remaining evaluation windows — including trailing partial or
+    /// empty ones, under the same `start ≤ max_block` / `eval_epochs`
+    /// rules as the batch loop. Queries remain answerable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotInitialized`] before [`AllocationCore::begin`], plus
+    /// [`AllocationCore::finish_training`] errors.
+    pub fn end_stream(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        rows: &mut Vec<EpochMetrics>,
+    ) -> Result<()> {
+        let blocks = self
+            .stream
+            .as_ref()
+            .ok_or(Error::NotInitialized("call begin() before end_stream()"))?
+            .blocks;
+        // Close every chunk/window that ends at or before the stream
+        // end; trailing (possibly empty) evaluation windows follow.
+        self.advance_to(strategy, blocks, rows)?;
+        let mut state = self.stream.take().expect("stream state present");
+        let max_block = state.blocks - 1;
+        while state.phase == Phase::Evaluating && state.window_start <= max_block {
+            self.close_epoch(strategy, &mut state, rows);
+        }
+        state.phase = Phase::Done;
+        self.stream = Some(state);
+        Ok(())
+    }
+
+    /// Closes every training chunk / evaluation window that ends at or
+    /// before `block` (exclusive upper bounds ≤ `block`).
+    fn advance_to(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        block: u64,
+        rows: &mut Vec<EpochMetrics>,
+    ) -> Result<()> {
+        let mut state = self.stream.take().expect("stream state present");
+        let result = self.advance_inner(strategy, &mut state, block, rows);
+        self.stream = Some(state);
+        result
+    }
+
+    fn advance_inner(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        state: &mut StreamState,
+        block: u64,
+        rows: &mut Vec<EpochMetrics>,
+    ) -> Result<()> {
+        let tau = u64::from(self.config.params.tau());
+        loop {
+            match state.phase {
+                Phase::Training => {
+                    // Chunks of τ blocks up to the recent-window start,
+                    // then the single [recent_start, cut) chunk —
+                    // mirroring the streamed batch loop's boundaries so
+                    // observe_training sees identical call sequences.
+                    let closes_training = state.window_start >= state.recent_start;
+                    let chunk_end = if closes_training {
+                        state.cut_block
+                    } else {
+                        (state.window_start + tau).min(state.recent_start)
+                    };
+                    if block < chunk_end {
+                        return Ok(());
+                    }
+                    let fold = if skips_training_graph(strategy) {
+                        TrainingFold::Skip
+                    } else if closes_training {
+                        TrainingFold::Defer
+                    } else {
+                        TrainingFold::Merge
+                    };
+                    let chunk = std::mem::take(&mut state.buf);
+                    self.ingest_training_chunk(strategy, &chunk, fold);
+                    if closes_training {
+                        self.finish_training(strategy)?;
+                        self.release_history_if_unused(strategy);
+                        // The training tail becomes the first recent
+                        // window, exactly as in the batch loops.
+                        state.recent = chunk;
+                        state.phase = Phase::Evaluating;
+                        state.window_start = state.cut_block;
+                    } else {
+                        state.buf = chunk;
+                        state.buf.clear();
+                        state.window_start = chunk_end;
+                    }
+                }
+                Phase::Evaluating => {
+                    if block < state.window_start + tau {
+                        return Ok(());
+                    }
+                    self.close_epoch(strategy, state, rows);
+                }
+                Phase::Done => return Ok(()),
+            }
+        }
+    }
+
+    /// Closes the evaluation window currently buffered in `state`:
+    /// full protocol, row onto `rows`, window committed, buffers
+    /// rotated (the processed window becomes the next recent window).
+    fn close_epoch(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        state: &mut StreamState,
+        rows: &mut Vec<EpochMetrics>,
+    ) {
+        let metrics = self.process_epoch(strategy, &state.buf, &state.recent);
+        rows.push(metrics);
+        self.commit_window_owned(strategy, &state.buf);
+        std::mem::swap(&mut state.recent, &mut state.buf);
+        state.buf.clear();
+        state.window_start += u64::from(self.config.params.tau());
+        if self.aggregate.epochs() >= self.config.eval_epochs {
+            state.phase = Phase::Done;
+        }
+    }
+}

@@ -42,14 +42,15 @@ use std::time::Duration;
 use mosaic_chain::Ledger;
 use mosaic_core::{ClientPolicy, MosaicFramework};
 use mosaic_metrics::data_size::miner_input_bytes;
-use mosaic_metrics::timing::{time_it, DurationStats};
-use mosaic_metrics::{Aggregate, AggregateBuilder, EpochLoad, EpochMetrics, LoadParams};
+use mosaic_metrics::timing::time_it;
+use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams};
 use mosaic_partition::GlobalAllocator;
 use mosaic_txallo::{ATxAllo, GTxAllo, TxAlloConfig};
 use mosaic_txgraph::{GraphBuilder, TxGraph};
 use mosaic_types::{AccountShardMap, BlockHeight, Error, Result, SystemParams, Transaction};
 use mosaic_workload::{EpochWindowStream, TransactionTrace};
 
+use crate::alloc_core::{skips_training_graph, AllocationCore, TrainingFold};
 use crate::parallel::Parallelism;
 use crate::runner::{ExperimentConfig, ExperimentResult};
 
@@ -270,6 +271,19 @@ pub trait EpochStrategy {
         true
     }
 
+    /// `true` if [`EpochStrategy::initial_allocation`] reads the
+    /// training graph ([`History::graph`]). Strategies returning
+    /// `false` promise an identical initial ϕ for *any* graph content —
+    /// including the empty graph — which, combined with
+    /// [`EpochStrategy::consumes_history`] `= false`, lets the streamed
+    /// pipeline skip training-graph edge accumulation entirely
+    /// ([`crate::alloc_core::skips_training_graph`]): no delta builder,
+    /// no CSR, just the transaction count. Only the rule-only hash
+    /// baseline qualifies today; the default is conservative.
+    fn needs_training_graph(&self) -> bool {
+        true
+    }
+
     /// Runs the strategy's allocation step for the upcoming epoch. Called
     /// once per evaluation epoch, *before* the ledger processes
     /// `ctx.window`; client-driven strategies submit their migration
@@ -374,6 +388,12 @@ impl<A: GlobalAllocator> EpochStrategy for StaticStrategy<A> {
 
     fn consumes_history(&self) -> bool {
         false
+    }
+
+    fn needs_training_graph(&self) -> bool {
+        // Rule-only allocators (hash-based Random) never read the
+        // graph, so the streamed pipeline can skip building it.
+        self.allocator.uses_graph()
     }
 
     fn before_epoch(&mut self, _ledger: &mut Ledger, _ctx: EpochCtx<'_, '_, '_>) -> EpochDecision {
@@ -611,8 +631,7 @@ pub fn run_with_observer(
     on_epoch: &mut dyn FnMut(usize, &EpochMetrics) -> bool,
 ) -> RunSummary {
     assert!(!trace.is_empty(), "experiment needs a non-empty trace");
-    let params = config.params;
-    let tau = params.tau();
+    let tau = config.params.tau();
 
     let (train, _eval) = trace.split_at_fraction(config.train_fraction);
     let max_block = trace.max_block().expect("non-empty trace");
@@ -620,15 +639,10 @@ pub fn run_with_observer(
         (((max_block.as_u64() + 1) as f64) * config.train_fraction).floor() as u64,
     );
 
-    let mut history = History::new();
-    history.extend(train);
-    strategy.observe_training(train);
-    let (initial_phi, init_time) = strategy.initial_allocation(&mut history, params.shards());
-
-    let mut ledger = Ledger::new(params, initial_phi, config.resolved_miner_count())
+    let mut core = AllocationCore::new(*config);
+    core.ingest_training(strategy, train);
+    core.finish_training(strategy)
         .expect("consistent shard counts");
-    ledger.set_migration_capacity(config.migration_capacity);
-    ledger.set_parallelism(config.cell_parallelism);
 
     // The first "recent window" is the last τ blocks of training.
     let mut recent_window = trace.block_range(
@@ -636,67 +650,20 @@ pub fn run_with_observer(
         cut_block,
     );
 
-    let mut aggregate = AggregateBuilder::new();
-    let mut alloc_stats = DurationStats::new();
-    let mut input_bytes_sum = 0.0f64;
-    let mut input_samples = 0usize;
-    let mut total_migrations = 0usize;
-
     for (epoch, window) in trace
         .epoch_windows(cut_block, tau)
         .take(config.eval_epochs)
         .enumerate()
     {
-        let decision = strategy.before_epoch(
-            &mut ledger,
-            EpochCtx {
-                window,
-                recent_window,
-                history: &mut history,
-                params,
-                parallelism: config.cell_parallelism,
-            },
-        );
-        if let Some(elapsed) = decision.alloc_time {
-            alloc_stats.record(elapsed);
-        }
-        if let Some(bytes) = decision.input_bytes {
-            input_bytes_sum += bytes;
-            input_samples += 1;
-        }
-        if let Some(phi) = decision.new_phi {
-            ledger.set_allocation(phi).expect("same shard count");
-        }
-
-        let outcome = ledger.process_epoch(window);
-        let migrations = match decision.migrations {
-            MigrationCount::Moves(n) => n,
-            MigrationCount::CommittedRequests => outcome.committed.len(),
-        };
-        total_migrations += migrations;
-        let metrics = EpochMetrics::from_load(&outcome.load, migrations);
-        aggregate.push(&metrics);
+        let metrics = core.process_epoch(strategy, window, recent_window);
         if !on_epoch(epoch, &metrics) {
             break;
         }
-
-        strategy.after_epoch(window);
-        history.extend(window);
+        core.commit_window_retained(strategy, window);
         recent_window = window;
     }
 
-    RunSummary {
-        epochs: aggregate.epochs(),
-        aggregate: aggregate.finish(),
-        init_seconds: init_time.as_secs_f64(),
-        mean_alloc_seconds: alloc_stats.mean_seconds(),
-        mean_input_bytes: if input_samples == 0 {
-            0.0
-        } else {
-            input_bytes_sum / input_samples as f64
-        },
-        total_migrations,
-    }
+    core.summary()
 }
 
 /// [`run_with_observer`] over an [`EpochWindowStream`] instead of a
@@ -727,8 +694,7 @@ pub fn run_streamed_with_observer(
     strategy: &mut dyn EpochStrategy,
     on_epoch: &mut dyn FnMut(usize, &EpochMetrics) -> bool,
 ) -> Result<RunSummary> {
-    let params = config.params;
-    let tau = params.tau();
+    let tau = config.params.tau();
     let blocks = stream.blocks();
     if blocks == 0 {
         return Err(Error::EmptyTrace);
@@ -739,43 +705,36 @@ pub fn run_streamed_with_observer(
 
     // Training prefix, chunked: blocks [0, cut − τ) pass through a single
     // reused buffer; [cut − τ, cut) is kept — it becomes the first
-    // "recent window", exactly as in the materialised loop.
-    let mut history = History::new();
+    // "recent window", exactly as in the materialised loop. Strategies
+    // whose initial allocation never reads the graph skip edge
+    // accumulation entirely (TrainingFold::Skip).
+    let mut core = AllocationCore::new(*config);
+    let skip_graph = skips_training_graph(strategy);
     let chunk_blocks = u64::from(tau);
     let mut buf: Vec<Transaction> = Vec::new();
     while stream.position() < recent_start {
         let to = (stream.position() + chunk_blocks).min(recent_start);
         buf.clear();
         stream.read_to(to, &mut buf)?;
-        strategy.observe_training(&buf);
-        history.absorb(&buf);
-        // Merge each chunk into the maintained CSR as it arrives, so the
-        // un-merged delta (a hash map over edges) stays bounded by one
-        // chunk instead of growing to the whole training prefix. The CSR
-        // content is independent of merge points.
-        let _ = history.graph();
+        let fold = if skip_graph {
+            TrainingFold::Skip
+        } else {
+            TrainingFold::Merge
+        };
+        core.ingest_training_chunk(strategy, &buf, fold);
     }
     let mut recent: Vec<Transaction> = Vec::new();
     stream.read_to(cut_block, &mut recent)?;
-    strategy.observe_training(&recent);
-    history.absorb(&recent);
+    let fold = if skip_graph {
+        TrainingFold::Skip
+    } else {
+        TrainingFold::Defer
+    };
+    core.ingest_training_chunk(strategy, &recent, fold);
 
-    let (initial_phi, init_time) = strategy.initial_allocation(&mut history, params.shards());
-
-    let mut ledger = Ledger::new(params, initial_phi, config.resolved_miner_count())
+    core.finish_training(strategy)
         .expect("consistent shard counts");
-    ledger.set_migration_capacity(config.migration_capacity);
-    ledger.set_parallelism(config.cell_parallelism);
-
-    if !strategy.consumes_history() {
-        history.release();
-    }
-
-    let mut aggregate = AggregateBuilder::new();
-    let mut alloc_stats = DurationStats::new();
-    let mut input_bytes_sum = 0.0f64;
-    let mut input_samples = 0usize;
-    let mut total_migrations = 0usize;
+    core.release_history_if_unused(strategy);
 
     let mut window: Vec<Transaction> = Vec::new();
     let mut start = cut_block;
@@ -787,63 +746,18 @@ pub fn run_streamed_with_observer(
         }
         window.clear();
         stream.read_to(start + u64::from(tau), &mut window)?;
-        let decision = strategy.before_epoch(
-            &mut ledger,
-            EpochCtx {
-                window: &window,
-                recent_window: &recent,
-                history: &mut history,
-                params,
-                parallelism: config.cell_parallelism,
-            },
-        );
-        if let Some(elapsed) = decision.alloc_time {
-            alloc_stats.record(elapsed);
-        }
-        if let Some(bytes) = decision.input_bytes {
-            input_bytes_sum += bytes;
-            input_samples += 1;
-        }
-        if let Some(phi) = decision.new_phi {
-            ledger.set_allocation(phi).expect("same shard count");
-        }
-
-        let outcome = ledger.process_epoch(&window);
-        let migrations = match decision.migrations {
-            MigrationCount::Moves(n) => n,
-            MigrationCount::CommittedRequests => outcome.committed.len(),
-        };
-        total_migrations += migrations;
-        let metrics = EpochMetrics::from_load(&outcome.load, migrations);
-        aggregate.push(&metrics);
+        let metrics = core.process_epoch(strategy, &window, &recent);
         if !on_epoch(epoch, &metrics) {
             break;
         }
-
-        strategy.after_epoch(&window);
-        if strategy.consumes_history() {
-            history.absorb(&window);
-        } else {
-            history.record_unretained(window.len());
-        }
+        core.commit_window_owned(strategy, &window);
         // The processed window becomes the next epoch's recent window;
         // the old recent buffer is reused for the next read.
         std::mem::swap(&mut recent, &mut window);
         start += u64::from(tau);
     }
 
-    Ok(RunSummary {
-        epochs: aggregate.epochs(),
-        aggregate: aggregate.finish(),
-        init_seconds: init_time.as_secs_f64(),
-        mean_alloc_seconds: alloc_stats.mean_seconds(),
-        mean_input_bytes: if input_samples == 0 {
-            0.0
-        } else {
-            input_bytes_sum / input_samples as f64
-        },
-        total_migrations,
-    })
+    Ok(core.summary())
 }
 
 #[cfg(test)]

@@ -3,9 +3,14 @@
 //!
 //! The crate wires every other crate together:
 //!
+//! * [`alloc_core`] — the incremental [`AllocationCore`]: training
+//!   ingestion, τ-boundary epoch processing, the migration protocol and
+//!   an always-queryable `shard_of` map behind one state machine, with
+//!   an event API (`begin`/`ingest_tx`/`end_stream`) for live feeds;
 //! * [`engine`] — the unified epoch pipeline: the [`EpochStrategy`]
 //!   trait every allocation mechanism implements, and
-//!   [`engine::run_with`], the crate's **single** epoch loop;
+//!   [`engine::run_with`], the crate's **single** epoch loop — a thin
+//!   driver over the core since the `mosaic-node` refactor;
 //! * [`Strategy`] — the five allocation strategies under test: Mosaic
 //!   (client-driven Pilot), G-TxAllo, A-TxAllo, Metis, and hash-based
 //!   Random — plus the registry ([`Strategy::build`]) resolving each to
@@ -52,6 +57,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod alloc_core;
 pub mod engine;
 pub mod experiments;
 pub mod parallel;
@@ -62,10 +68,11 @@ pub mod scenario;
 pub mod session;
 pub mod strategy;
 
+pub use alloc_core::{AllocationCore, LoadReport, ShardLoad, TrainingFold};
 pub use engine::{EpochCtx, EpochDecision, EpochStrategy, MigrationCount, MosaicStrategy};
 pub use parallel::Parallelism;
 pub use runner::{ExperimentConfig, ExperimentResult};
 pub use scale::Scale;
-pub use scenario::{Capacity, GridAxis, ObserverSpec, Scenario};
+pub use scenario::{Capacity, GridAxis, ObserverSpec, RunTarget, Scenario};
 pub use session::{GridCell, RunObserver, Simulation, SimulationReport};
 pub use strategy::Strategy;

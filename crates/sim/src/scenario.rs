@@ -342,6 +342,25 @@ fn slug(label: &str) -> String {
     out.trim_end_matches('-').to_string()
 }
 
+/// What kind of driver a scenario is destined for.
+///
+/// The default, [`RunTarget::Offline`], is the batch simulator
+/// ([`Simulation`](crate::session::Simulation)). [`RunTarget::Node`]
+/// marks the spec as driving a live `mosaic-node` service (serve or
+/// replay): per-epoch rows then live on the node, so observers that
+/// accumulate results in the driving process (`collect`) are rejected
+/// by [`Scenario::validate`]. Serialised as `target = node` — omitted
+/// entirely for the offline default, keeping existing `.scenario`
+/// files byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunTarget {
+    /// Batch simulator runs (the default).
+    #[default]
+    Offline,
+    /// A live `mosaic-node` service (serve / replay).
+    Node,
+}
+
 /// A complete, serializable experiment specification.
 ///
 /// Construct with [`Scenario::new`] + `with_*` helpers, a preset
@@ -377,6 +396,9 @@ pub struct Scenario {
     pub cell_parallelism: Parallelism,
     /// The observer stack applied to every cell.
     pub observers: Vec<ObserverSpec>,
+    /// The driver this spec is destined for (offline simulator vs live
+    /// `mosaic-node` service).
+    pub target: RunTarget,
 }
 
 impl Scenario {
@@ -398,6 +420,7 @@ impl Scenario {
             grid_parallelism: Parallelism::Auto,
             cell_parallelism: Parallelism::Sequential,
             observers: vec![ObserverSpec::Collect],
+            target: RunTarget::Offline,
         }
     }
 
@@ -434,6 +457,12 @@ impl Scenario {
     /// Replaces the observer stack.
     pub fn with_observers(mut self, observers: impl Into<Vec<ObserverSpec>>) -> Self {
         self.observers = observers.into();
+        self
+    }
+
+    /// Sets the run target (offline simulator vs `mosaic-node` service).
+    pub fn with_target(mut self, target: RunTarget) -> Self {
+        self.target = target;
         self
     }
 
@@ -630,6 +659,17 @@ impl Scenario {
                  use stream-csv:<dir> instead",
             ));
         }
+        // A node run's per-epoch rows live on the service, not in the
+        // driving process — there is no in-memory result set for a
+        // 'collect' observer to fill, so the combination is a spec error.
+        if self.target == RunTarget::Node && self.observers.contains(&ObserverSpec::Collect) {
+            return Err(parse_error(
+                0,
+                "a node/replay target cannot be combined with the 'collect' observer \
+                 (per-epoch rows live on the mosaic-node service, not in the driving \
+                 process); use stream-csv:<dir> instead",
+            ));
+        }
         if let Some(dup) = self
             .observers
             .iter()
@@ -761,6 +801,11 @@ impl Scenario {
                 .collect::<Vec<_>>()
                 .join(", "),
         );
+        // Emitted only for the non-default node target so every existing
+        // offline `.scenario` file stays byte-stable.
+        if self.target == RunTarget::Node {
+            kv("target", "node".to_string());
+        }
         out
     }
 
@@ -793,6 +838,7 @@ impl Scenario {
         let mut grid_parallelism = Parallelism::Auto;
         let mut cell_parallelism = Parallelism::Sequential;
         let mut observers: Option<Vec<ObserverSpec>> = None;
+        let mut target = RunTarget::Offline;
 
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
@@ -879,6 +925,18 @@ impl Scenario {
                         .collect();
                     observers = Some(parsed?);
                 }
+                "target" => {
+                    target = match value {
+                        "offline" => RunTarget::Offline,
+                        "node" => RunTarget::Node,
+                        other => {
+                            return Err(parse_error(
+                                line,
+                                format!("unknown target {other:?}; valid: offline, node"),
+                            ))
+                        }
+                    }
+                }
                 axis if axis.starts_with("axis.") => {
                     grid.push(GridAxis::parse(&axis["axis.".len()..], value, line)?);
                 }
@@ -937,6 +995,7 @@ impl Scenario {
             grid_parallelism,
             cell_parallelism,
             observers: observers.unwrap_or_else(|| vec![ObserverSpec::Collect]),
+            target,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -1151,6 +1210,40 @@ mod tests {
         let fixed = Scenario::new("s", TraceSource::streamed_csv("data/eth.csv"), 3)
             .with_observers([ObserverSpec::StreamCsv(PathBuf::from("out"))]);
         assert!(fixed.validate().is_ok());
+    }
+
+    #[test]
+    fn node_target_roundtrips_and_rejects_collect() {
+        let node = Scenario::full_protocol(&Scale::quick()).with_target(RunTarget::Node);
+        let text = node.to_text();
+        assert!(text.contains("target = node"), "{text}");
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(back.target, RunTarget::Node);
+        // Offline scenarios never emit the key, so checked-in files are
+        // byte-stable across the target's introduction.
+        let offline = Scenario::full_protocol(&Scale::quick());
+        assert!(
+            !offline.to_text().contains("target"),
+            "{}",
+            offline.to_text()
+        );
+        assert_eq!(
+            Scenario::parse(&offline.to_text()).unwrap().target,
+            RunTarget::Offline
+        );
+
+        // Node target + collect observer: rows live on the service, so
+        // there is nothing for collect to fill.
+        let bad = quick_effectiveness().with_target(RunTarget::Node);
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, Error::ParseScenario { line: 0, .. }), "{err}");
+        assert!(err.to_string().contains("node/replay target"), "{err}");
+        assert!(err.to_string().contains("collect"), "{err}");
+
+        let err = Scenario::parse("name = x\ntrace = generated\neval_epochs = 1\ntarget = moon\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown target"), "{err}");
     }
 
     #[test]
