@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <current.json> [--min-ratio 0.9] [--min-final 1.5]
-//!             [--summary <file.md>]
+//!             [--wire line|binary] [--summary <file.md>]
 //! ```
 //!
 //! Checks, in order:
@@ -20,6 +20,11 @@
 //!    gate is skipped with a note — a healthy thread speedup cannot
 //!    exist there, and pretending otherwise would just train people to
 //!    ignore the gate.
+//!
+//! `--wire <token>` restricts both files to the `node_replay` entries
+//! recorded for that wire codec before any gate runs — CI checks the
+//! line and binary codecs at different floors, but the committed
+//! baseline holds both in one file.
 //!
 //! `--summary <file.md>` additionally renders the seq-vs-par table as
 //! GitHub-flavoured markdown (CI appends it to `$GITHUB_STEP_SUMMARY`).
@@ -39,6 +44,10 @@ struct Entry {
     seq_ms: Option<f64>,
     /// Parallel-side milliseconds, when the shape records them.
     par_ms: Option<f64>,
+    /// `"wire"` codec token when present (node_replay shape).
+    wire: Option<String>,
+    /// `"sessions"` count when present (node_replay shape).
+    sessions: Option<f64>,
     speedup: f64,
 }
 
@@ -91,6 +100,8 @@ fn parse(content: &str) -> Result<BenchFile, String> {
             size,
             seq_ms: find_number(entry, "seq_ms").or_else(|| find_number(entry, "full_rebuild_ms")),
             par_ms: find_number(entry, "par_ms").or_else(|| find_number(entry, "merge_delta_ms")),
+            wire: find_string(entry, "wire"),
+            sessions: find_number(entry, "sessions"),
             speedup,
         });
     }
@@ -106,9 +117,14 @@ fn parse(content: &str) -> Result<BenchFile, String> {
 }
 
 fn label(e: &Entry) -> String {
-    match &e.allocator {
+    let base = match &e.allocator {
         Some(a) => format!("{a}/{}", e.size),
         None => format!("@{}", e.size),
+    };
+    match (&e.wire, e.sessions) {
+        (Some(wire), Some(sessions)) => format!("{base}[{wire}×{sessions}]"),
+        (Some(wire), None) => format!("{base}[{wire}]"),
+        _ => base,
     }
 }
 
@@ -249,11 +265,21 @@ fn summary_markdown(baseline: &BenchFile, current: &BenchFile) -> String {
     out
 }
 
+/// Restricts a parsed file to the entries recorded for one wire codec.
+fn filter_wire(file: &mut BenchFile, wire: &str, path: &str) -> Result<(), String> {
+    file.entries.retain(|e| e.wire.as_deref() == Some(wire));
+    if file.entries.is_empty() {
+        return Err(format!("{path}: no entries with \"wire\": \"{wire}\""));
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut paths = Vec::new();
     let mut min_ratio = 0.9f64;
     let mut min_final = 1.5f64;
     let mut summary_path: Option<String> = None;
+    let mut wire_filter: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -269,6 +295,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--min-final needs a number")?;
             }
+            "--wire" => {
+                wire_filter = Some(it.next().ok_or("--wire needs a codec token")?.clone());
+            }
             "--summary" => {
                 summary_path = Some(it.next().ok_or("--summary needs a file path")?.clone());
             }
@@ -277,12 +306,17 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     }
     let [baseline_path, current_path] = paths.as_slice() else {
         return Err("usage: bench_check <baseline.json> <current.json> \
-                    [--min-ratio 0.9] [--min-final 1.5] [--summary <file.md>]"
+                    [--min-ratio 0.9] [--min-final 1.5] [--wire line|binary] \
+                    [--summary <file.md>]"
             .into());
     };
     let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
-    let baseline = parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
-    let current = parse(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
+    let mut baseline = parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let mut current = parse(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
+    if let Some(wire) = &wire_filter {
+        filter_wire(&mut baseline, wire, baseline_path)?;
+        filter_wire(&mut current, wire, current_path)?;
+    }
     if let Some(path) = summary_path {
         std::fs::write(&path, summary_markdown(&baseline, &current))
             .map_err(|e| format!("{path}: {e}"))?;
@@ -347,6 +381,45 @@ mod tests {
     {"accounts": 1000000, "blocks": 5000, "txs": 4000000, "trace_mb": 152.6, "peak_rss_mb": 198.5, "seconds": 10.51, "epochs_per_sec": 0.476, "speedup": 0.77}
   ]
 }"#;
+
+    const NODE: &str = r#"{
+  "bench": "node_replay",
+  "unit": "tx/s over TCP replay; speedup = node_tx_s / offline_tx_s",
+  "cpus": 0,
+  "scenario": "scenarios/quick.scenario",
+  "results": [
+    {"accounts": 800, "wire": "line", "sessions": 1, "txs": 80000, "node_tx_s": 365715, "offline_tx_s": 1447989, "speedup": 0.253},
+    {"accounts": 800, "wire": "binary", "sessions": 1, "txs": 80000, "node_tx_s": 900000, "offline_tx_s": 1447989, "speedup": 0.622}
+  ]
+}"#;
+
+    #[test]
+    fn node_shape_parses_wire_and_sessions() {
+        let f = parse(NODE).unwrap();
+        assert_eq!(f.bench, "node_replay");
+        assert_eq!(f.entries.len(), 2);
+        assert_eq!(f.entries[0].wire.as_deref(), Some("line"));
+        assert_eq!(f.entries[1].wire.as_deref(), Some("binary"));
+        assert_eq!(f.entries[0].sessions, Some(1.0));
+        assert_eq!(label(&f.entries[1]), "@800[binary×1]");
+        assert!(check(&f, &f, 0.9, 2.0).is_empty());
+    }
+
+    #[test]
+    fn wire_filter_selects_matching_entries_and_rejects_unknown_codecs() {
+        let mut f = parse(NODE).unwrap();
+        filter_wire(&mut f, "binary", "NODE").unwrap();
+        assert_eq!(f.entries.len(), 1);
+        assert_eq!(f.entries[0].speedup, 0.622);
+        // A single-codec current file compares against the same slice of
+        // the two-codec baseline without tripping the entry-count gate.
+        let mut baseline = parse(NODE).unwrap();
+        filter_wire(&mut baseline, "binary", "NODE").unwrap();
+        assert!(check(&baseline, &f, 0.9, 2.0).is_empty());
+
+        let err = filter_wire(&mut parse(NODE).unwrap(), "carrier-pigeon", "NODE").unwrap_err();
+        assert!(err.contains("carrier-pigeon"), "{err}");
+    }
 
     #[test]
     fn scale_shape_sizes_by_accounts_and_arms_the_ratio_gate() {

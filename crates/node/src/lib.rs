@@ -3,41 +3,60 @@
 //! The batch simulator and this service are two drivers over the same
 //! incremental [`AllocationCore`](mosaic_sim::AllocationCore): the
 //! simulator feeds it materialised epoch windows, the node feeds it a
-//! transaction stream arriving over a line-oriented TCP endpoint and
-//! lets the core detect τ-block epoch boundaries itself. Because both
-//! paths fold training data and process epochs through the same state
-//! machine, a replayed scenario produces **byte-identical** per-epoch
-//! CSV to the offline run — asserted by this crate's tests and the
-//! `node-smoke` CI job.
+//! transaction stream arriving over TCP and lets the core detect
+//! τ-block epoch boundaries itself. Because both paths fold training
+//! data and process epochs through the same state machine, a replayed
+//! scenario produces **byte-identical** per-epoch CSV to the offline
+//! run — asserted by this crate's tests and the `node-smoke` CI job.
 //!
-//! * [`proto`] — the wire protocol: `BEGIN`/`TX`/`END` streaming,
-//!   `LOOKUP` (shard-of-account), `LOAD` (per-shard load + migration
-//!   protocol state), `CSV` (per-epoch rows), `SHUTDOWN`;
+//! The protocol is typed ([`Request`] / [`Response`]) and travels over
+//! either of two interchangeable codecs ([`Wire`]): the original
+//! `nc`-friendly line form, byte-compatible with earlier releases, or
+//! length-prefixed binary frames with batched `TX` blocks and a
+//! version-negotiating hello. The server is multi-session: every
+//! connection negotiates its codec from its first bytes and gets a
+//! private session on a dedicated core thread, so N clients replay N
+//! scenarios concurrently in full isolation.
+//!
+//! * [`proto`] — the typed protocol core and its line rendering:
+//!   `BEGIN`/`TX`/`END` streaming, `LOOKUP` (shard-of-account), `LOAD`
+//!   (per-shard load + migration protocol state), `CSV` (per-epoch
+//!   rows), `SHUTDOWN`;
+//! * [`wire`] — the codec layer ([`Wire::Line`] / [`Wire::Binary`]) and
+//!   the version hello;
 //! * [`session`] — [`NodeSession`], the protocol-facing state machine
 //!   over one core;
-//! * [`server`] — [`serve`]: thread-per-connection front end funnelling
-//!   into a single core thread (per-shard work parallelises inside the
-//!   ledger's worker pool);
-//! * [`replay`] — the replay client ([`replay()`](replay::replay)):
-//!   drives any checked-in `.scenario` file through a live node and
-//!   collects the node-side CSV.
+//! * [`server`] — [`serve`]: thread-per-connection front end, one
+//!   session core thread per connection behind a bounded queue
+//!   (per-shard work parallelises inside the ledger's worker pool);
+//! * [`client`] — [`MosaicClient`], the typed, codec-generic client
+//!   library;
+//! * [`replay`] — the replay driver ([`replay()`](replay::replay) /
+//!   [`replay_sessions`](replay::replay_sessions)): drives any
+//!   checked-in `.scenario` file through a live node and collects the
+//!   node-side CSV.
 //!
 //! The `mosaic-node` binary exposes both sides:
 //!
 //! ```text
 //! mosaic-node serve  --scenario scenarios/quick.scenario --addr 127.0.0.1:4600
-//! mosaic-node replay --scenario scenarios/quick.scenario --addr 127.0.0.1:4600 --out node-results
+//! mosaic-node replay --scenario scenarios/quick.scenario --addr 127.0.0.1:4600 \
+//!                    --wire binary --sessions 4 --out node-results
 //! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod client;
 pub mod proto;
 pub mod replay;
 pub mod server;
 pub mod session;
+pub mod wire;
 
+pub use client::MosaicClient;
 pub use proto::{Request, Response};
-pub use replay::{offline_baseline_seconds, CellReplay, NodeClient, ReplayReport};
+pub use replay::{offline_baseline_seconds, CellReplay, ReplayReport};
 pub use server::serve;
 pub use session::NodeSession;
+pub use wire::{Incoming, Wire};

@@ -5,23 +5,29 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mosaic_node::replay::{offline_baseline_seconds, replay, NodeClient};
-use mosaic_node::{serve, Request};
+use mosaic_node::replay::{offline_baseline_seconds, replay_sessions};
+use mosaic_node::{serve, MosaicClient, Wire};
 use mosaic_sim::{RunTarget, Scenario};
 use mosaic_types::Result;
 
 const USAGE: &str = "usage:
   mosaic-node serve  --scenario <file> --addr <host:port>
   mosaic-node replay --scenario <file> --addr <host:port>
+                     [--wire line|binary] [--sessions <n>]
                      [--out <dir>] [--bench-out <file>] [--shutdown]
 
 serve   boots the allocation service for the scenario's cells and blocks
-        until a client sends SHUTDOWN.
+        until a client sends SHUTDOWN. Every connection gets its own
+        session and may speak either wire format (negotiated from its
+        first bytes).
 replay  streams the scenario's trace through a running node, writes each
         cell's node-side per-epoch CSV to <dir> (default: node-results),
-        and prints the replay throughput. --bench-out also times the
-        offline runner on the same cells and records the tx/s ratio as a
-        BENCH_node.json-style speedup. --shutdown stops the node after.";
+        and prints the replay throughput. --wire picks the codec
+        (default: binary); --sessions replays over <n> concurrent
+        connections and verifies their CSVs are byte-identical.
+        --bench-out also times the offline runner on the same cells and
+        records the tx/s ratio as a BENCH_node.json-style speedup.
+        --shutdown stops the node after.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,11 +49,24 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
     let mut out_dir = PathBuf::from("node-results");
     let mut bench_out: Option<PathBuf> = None;
     let mut shutdown = false;
+    let mut wire = Wire::default();
+    let mut sessions = 1usize;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
             "--scenario" => scenario_path = Some(PathBuf::from(value(&mut rest, flag)?)),
             "--addr" => addr = Some(value(&mut rest, flag)?),
+            "--wire" if command == "replay" => {
+                wire = value(&mut rest, flag)?.parse()?;
+            }
+            "--sessions" if command == "replay" => {
+                sessions = value(&mut rest, flag)?
+                    .parse()
+                    .map_err(|_| format!("--sessions needs a positive integer\n{USAGE}"))?;
+                if sessions == 0 {
+                    return Err(format!("--sessions must be at least 1\n{USAGE}"));
+                }
+            }
             "--out" if command == "replay" => out_dir = PathBuf::from(value(&mut rest, flag)?),
             "--bench-out" if command == "replay" => {
                 bench_out = Some(PathBuf::from(value(&mut rest, flag)?))
@@ -67,6 +86,8 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
             scenario,
             &scenario_path,
             &out_dir,
+            wire,
+            sessions,
             bench_out.as_deref(),
             shutdown,
         )
@@ -85,7 +106,7 @@ fn value(
 }
 
 fn cmd_serve(addr: &str, scenario: Scenario) -> Result<()> {
-    let cells = scenario.clone().with_target(RunTarget::Node).cells()?;
+    let cells = scenario.cells_for(RunTarget::Node)?;
     let listener = TcpListener::bind(addr).map_err(|e| mosaic_types::Error::Io {
         path: addr.to_string(),
         message: e.to_string(),
@@ -102,15 +123,18 @@ fn cmd_serve(addr: &str, scenario: Scenario) -> Result<()> {
     serve(listener, scenario)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_replay(
     addr: &str,
     scenario: Scenario,
     scenario_path: &std::path::Path,
     out_dir: &std::path::Path,
+    wire: Wire,
+    sessions: usize,
     bench_out: Option<&std::path::Path>,
     shutdown: bool,
 ) -> Result<()> {
-    let report = replay(addr, &scenario)?;
+    let report = replay_sessions(addr, &scenario, wire, sessions)?;
     std::fs::create_dir_all(out_dir).map_err(|e| io_error(out_dir, &e))?;
     for cell in &report.cells {
         let path = out_dir.join(format!("{}.csv", cell.stem));
@@ -118,9 +142,13 @@ fn cmd_replay(
     }
     let node_tx_s = report.txs as f64 / report.seconds.max(1e-9);
     println!(
-        "mosaic-node: replayed {} txs across {} cells in {:.2}s ({:.0} tx/s) -> {}",
+        "mosaic-node: replayed {} txs across {} cells ({} wire, {} session{}) in {:.2}s \
+         ({:.0} tx/s) -> {}",
         report.txs,
         report.cells.len(),
+        report.wire,
+        report.sessions,
+        if report.sessions == 1 { "" } else { "s" },
         report.seconds,
         node_tx_s,
         out_dir.display()
@@ -128,7 +156,10 @@ fn cmd_replay(
 
     if let Some(bench_path) = bench_out {
         let offline_seconds = offline_baseline_seconds(&scenario)?;
-        let offline_tx_s = report.txs as f64 / offline_seconds.max(1e-9);
+        // Per-session throughput against a single offline pass keeps the
+        // ratio comparable across session counts.
+        let session_txs = report.txs / report.sessions as u64;
+        let offline_tx_s = session_txs as f64 / offline_seconds.max(1e-9);
         let speedup = node_tx_s / offline_tx_s.max(1e-9);
         // Sized by accounts for generated traces (epochs otherwise) so
         // bench_check can pair entries with the committed baseline.
@@ -137,12 +168,14 @@ fn cmd_replay(
             None => format!("\"epochs\": {}", scenario.eval_epochs),
         };
         let json = format!(
-            "{{\n  \"bench\": \"node_replay\",\n  \"unit\": \"tx/s over line-oriented TCP replay; \
+            "{{\n  \"bench\": \"node_replay\",\n  \"unit\": \"tx/s over TCP replay; \
              speedup = node_tx_s / offline_tx_s\",\n  \"cpus\": 0,\n  \"scenario\": {:?},\n  \
-             \"results\": [\n    {{{size_field}, \"txs\": {}, \"node_seconds\": {:.3}, \
-             \"offline_seconds\": {:.3}, \"node_tx_s\": {:.0}, \"offline_tx_s\": {:.0}, \
-             \"speedup\": {:.3}}}\n  ]\n}}\n",
+             \"results\": [\n    {{{size_field}, \"wire\": \"{}\", \"sessions\": {}, \
+             \"txs\": {}, \"node_seconds\": {:.3}, \"offline_seconds\": {:.3}, \
+             \"node_tx_s\": {:.0}, \"offline_tx_s\": {:.0}, \"speedup\": {:.3}}}\n  ]\n}}\n",
             scenario_path.display().to_string(),
+            report.wire,
+            report.sessions,
             report.txs,
             report.seconds,
             offline_seconds,
@@ -159,8 +192,8 @@ fn cmd_replay(
     }
 
     if shutdown {
-        let mut client = NodeClient::connect(addr)?;
-        client.expect_ok(&Request::Shutdown)?;
+        let mut client = MosaicClient::connect(addr, wire)?;
+        client.shutdown()?;
         println!("mosaic-node: shutdown sent");
     }
     Ok(())

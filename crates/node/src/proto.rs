@@ -1,13 +1,19 @@
-//! The line-oriented wire protocol between a `mosaic-node` service and
-//! its clients.
+//! The typed protocol core between a `mosaic-node` service and its
+//! clients: [`Request`] / [`Response`], plus their *line* rendering.
 //!
-//! Every request is one ASCII line; every response is one line, except
-//! the block responses ([`Response::Load`], [`Response::Csv`]) whose
-//! first line carries the number of payload lines that follow — so a
-//! client never needs to guess where a reply ends. `TX` lines are
-//! fire-and-forget: the node sends no per-transaction acknowledgement
-//! (the stream would otherwise be round-trip-bound), and ingestion
-//! errors surface in the `END` reply instead.
+//! The enums are the protocol; how they travel is a codec concern
+//! ([`Wire`](crate::wire::Wire)) — either the human-speakable line form
+//! defined here (byte-compatible with the original `nc`-friendly
+//! protocol) or the length-prefixed binary frames in [`crate::wire`].
+//!
+//! In the line form every request is one ASCII line; every response is
+//! one line, except the block responses ([`Response::Load`],
+//! [`Response::Csv`]) whose first line carries the number of payload
+//! lines that follow — so a client never needs to guess where a reply
+//! ends. `TX` lines are fire-and-forget: the node sends no
+//! per-transaction acknowledgement (the stream would otherwise be
+//! round-trip-bound), and ingestion errors surface in the `END` reply
+//! instead.
 //!
 //! ```text
 //! client → node                       node → client
@@ -38,6 +44,13 @@ pub enum Request {
     /// `TX <id> <block> <from> <to> <transfer|call>` — one transaction,
     /// fire-and-forget (no reply; errors surface at `END`).
     Tx(Transaction),
+    /// A block's worth of transactions as one message — fire-and-forget
+    /// like [`Request::Tx`]. On the binary wire this is a single frame
+    /// (one length check per block); on the line wire it renders as one
+    /// `TX` line per transaction, so the bytes are indistinguishable
+    /// from sending them individually and the line form never *parses*
+    /// into this variant.
+    TxBatch(Vec<Transaction>),
     /// `END` — close the stream: remaining epochs are processed and the
     /// reply reports the epoch count (or the first deferred `TX` error).
     End,
@@ -54,24 +67,28 @@ pub enum Request {
 }
 
 impl Request {
-    /// The canonical wire line (no trailing newline).
+    /// The canonical line form (no trailing newline). Single-line for
+    /// every variant except [`Request::TxBatch`], which renders as one
+    /// `TX` line per transaction joined by newlines.
     pub fn encode(&self) -> String {
         match self {
             Request::Begin { cell, blocks } => format!("BEGIN {cell} {blocks}"),
-            Request::Tx(tx) => format!(
-                "TX {} {} {} {} {}",
-                tx.id.as_u64(),
-                tx.block.as_u64(),
-                tx.from.as_u64(),
-                tx.to.as_u64(),
-                tx.kind
-            ),
+            Request::Tx(tx) => tx_line(tx),
+            Request::TxBatch(txs) => txs.iter().map(tx_line).collect::<Vec<_>>().join("\n"),
             Request::End => "END".to_string(),
             Request::Lookup(account) => format!("LOOKUP {}", account.as_u64()),
             Request::Load => "LOAD".to_string(),
             Request::Csv => "CSV".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
+    }
+
+    /// `true` if this request is answered at all. Transaction ingestion
+    /// ([`Request::Tx`], [`Request::TxBatch`]) is the only
+    /// fire-and-forget traffic; everything else gets exactly one
+    /// [`Response`].
+    pub fn expects_reply(&self) -> bool {
+        !matches!(self, Request::Tx(_) | Request::TxBatch(_))
     }
 
     /// Parses one wire line, the inverse of [`Request::encode`].
@@ -129,13 +146,25 @@ impl Request {
         Ok(request)
     }
 
-    /// `true` if a line of this shape is answered at all. `TX` lines are
-    /// the only fire-and-forget requests; both the server (reply or not)
-    /// and the client (wait or not) must agree on this by inspecting the
-    /// raw line, hence the verb-prefix rule rather than a parse.
-    pub fn expects_reply(line: &str) -> bool {
+    /// [`Request::expects_reply`] for a raw line that may not parse:
+    /// `TX` lines are fire-and-forget *even when malformed* (their
+    /// parse error is deferred to `END`), and both sides must agree on
+    /// that by inspecting the raw line, hence the verb-prefix rule
+    /// rather than a parse.
+    pub fn line_expects_reply(line: &str) -> bool {
         line.split_whitespace().next() != Some("TX")
     }
+}
+
+fn tx_line(tx: &Transaction) -> String {
+    format!(
+        "TX {} {} {} {} {}",
+        tx.id.as_u64(),
+        tx.block.as_u64(),
+        tx.from.as_u64(),
+        tx.to.as_u64(),
+        tx.kind
+    )
 }
 
 /// One node reply. Single-line except [`Response::Load`] /
@@ -305,11 +334,44 @@ mod tests {
 
     #[test]
     fn only_tx_lines_are_fire_and_forget() {
-        assert!(!Request::expects_reply("TX 1 2 3 4 transfer"));
-        assert!(!Request::expects_reply("  TX garbage"));
-        assert!(Request::expects_reply("END"));
-        assert!(Request::expects_reply("LOOKUP 5"));
-        assert!(Request::expects_reply(""));
+        assert!(!Request::line_expects_reply("TX 1 2 3 4 transfer"));
+        assert!(!Request::line_expects_reply("  TX garbage"));
+        assert!(Request::line_expects_reply("END"));
+        assert!(Request::line_expects_reply("LOOKUP 5"));
+        assert!(Request::line_expects_reply(""));
+        // The typed classification agrees with the raw-line rule.
+        assert!(!Request::Tx(Transaction::new(
+            TxId::new(1),
+            AccountId::new(2),
+            AccountId::new(3),
+            BlockHeight::new(4),
+        ))
+        .expects_reply());
+        assert!(!Request::TxBatch(Vec::new()).expects_reply());
+        assert!(Request::End.expects_reply());
+        assert!(Request::Load.expects_reply());
+    }
+
+    #[test]
+    fn tx_batches_render_as_plain_tx_lines() {
+        let txs = vec![
+            Transaction::new(
+                TxId::new(1),
+                AccountId::new(2),
+                AccountId::new(3),
+                BlockHeight::new(4),
+            ),
+            Transaction::with_kind(
+                TxId::new(5),
+                AccountId::new(6),
+                AccountId::new(7),
+                BlockHeight::new(8),
+                TxKind::ContractCall,
+            ),
+        ];
+        let batch = Request::TxBatch(txs.clone()).encode();
+        let singles: Vec<String> = txs.iter().map(|tx| Request::Tx(*tx).encode()).collect();
+        assert_eq!(batch, singles.join("\n"));
     }
 
     #[test]

@@ -1,86 +1,36 @@
-//! The replay client: drives any checked-in [`Scenario`] through a
-//! live node and collects the per-epoch CSV the node produced.
+//! The replay driver: streams any checked-in [`Scenario`] through a
+//! live node over a [`MosaicClient`] and collects the per-epoch CSV the
+//! node produced.
 //!
-//! For every cell of the scenario the client opens a bounded-memory
+//! For every cell of the scenario the driver opens a bounded-memory
 //! window stream over the scenario's trace source, declares the block
-//! span with `BEGIN`, pours the transactions down the socket as `TX`
-//! lines (buffered, no per-transaction round trip), then `END`s the
-//! stream and fetches the node-side `CSV` — which is byte-identical to
-//! what the offline runner writes for the same cell, because both are
-//! the same [`AllocationCore`](mosaic_sim::AllocationCore) pipeline.
+//! span with `BEGIN`, pours the transactions down the socket in
+//! block-window batches (no per-transaction round trip; one frame per
+//! window on the binary wire), then `END`s the stream and fetches the
+//! node-side `CSV` — which is byte-identical to what the offline runner
+//! writes for the same cell, because both are the same
+//! [`AllocationCore`](mosaic_sim::AllocationCore) pipeline.
+//!
+//! [`replay_sessions`] runs N such drivers concurrently, one connection
+//! (and so one server-side session) each, and cross-checks that every
+//! session produced identical bytes — the multi-session isolation
+//! proof, exercised by the concurrency tests and available from the CLI
+//! via `--sessions`.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::TcpStream;
 use std::time::Instant;
 
 use mosaic_sim::{RunTarget, Scenario, Simulation};
-use mosaic_types::{Error, Result, Transaction};
+use mosaic_types::{Result, Transaction};
 
-use crate::proto::{Request, Response};
+use crate::client::{protocol_error, MosaicClient};
+use crate::wire::Wire;
 
-/// How many blocks of trace each socket write batch spans.
+/// How many blocks of trace each transaction batch spans (one binary
+/// frame, or one buffered run of `TX` lines, per batch).
 const CHUNK_BLOCKS: u64 = 256;
 
-/// A line-oriented client connection to a `mosaic-node` service.
-pub struct NodeClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-impl NodeClient {
-    /// Connects to a node at `addr` (`host:port`).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Io`] on connection failure.
-    pub fn connect(addr: &str) -> Result<Self> {
-        let stream = TcpStream::connect(addr).map_err(|e| io_error(addr, &e))?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| io_error(addr, &e))?);
-        Ok(NodeClient {
-            reader,
-            writer: BufWriter::new(stream),
-        })
-    }
-
-    /// Sends `request` and waits for its reply. Not for `TX` lines —
-    /// those are fire-and-forget; use [`NodeClient::send_tx`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Io`] on socket failure or a malformed reply.
-    pub fn request(&mut self, request: &Request) -> Result<Response> {
-        writeln!(self.writer, "{}", request.encode()).map_err(|e| io_error("<node>", &e))?;
-        self.writer.flush().map_err(|e| io_error("<node>", &e))?;
-        Response::read_from(&mut self.reader).map_err(|e| io_error("<node>", &e))
-    }
-
-    /// Queues one `TX` line into the send buffer (no reply, no flush —
-    /// the next [`NodeClient::request`] flushes before it waits).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Io`] on socket failure.
-    pub fn send_tx(&mut self, tx: &Transaction) -> Result<()> {
-        writeln!(self.writer, "{}", Request::Tx(*tx).encode()).map_err(|e| io_error("<node>", &e))
-    }
-
-    /// Sends `request` and unwraps an `OK` reply into its detail text,
-    /// turning `ERR` replies into errors.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Io`] carrying the node's `ERR` message, or on an
-    /// unexpected reply shape.
-    pub fn expect_ok(&mut self, request: &Request) -> Result<String> {
-        match self.request(request)? {
-            Response::Ok(detail) => Ok(detail),
-            Response::Error(message) => Err(protocol_error(message)),
-            other => Err(protocol_error(format!("unexpected reply {other:?}"))),
-        }
-    }
-}
-
 /// The node-side CSV of one replayed cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellReplay {
     /// The cell's file stem ([`CellSpec::file_stem`]) — where the
     /// offline runner would have written the same bytes.
@@ -93,65 +43,125 @@ pub struct CellReplay {
 
 /// What one full replay produced.
 pub struct ReplayReport {
-    /// Per-cell CSVs, in scenario cell order.
+    /// Per-cell CSVs, in scenario cell order. For a multi-session
+    /// replay these are the (verified-identical) bytes every session
+    /// produced.
     pub cells: Vec<CellReplay>,
-    /// Transactions sent over the socket, across all cells.
+    /// Transactions sent over the socket, summed across all sessions.
     pub txs: u64,
     /// Wall-clock seconds for the whole replay (trace generation,
     /// socket I/O, and node-side epoch processing included).
     pub seconds: f64,
+    /// The codec the replay spoke.
+    pub wire: Wire,
+    /// How many concurrent connections replayed the scenario.
+    pub sessions: usize,
 }
 
-/// Replays every cell of `scenario` against the node at `addr`.
+/// Replays every cell of `scenario` against the node at `addr` over one
+/// connection speaking `wire`.
 ///
 /// # Errors
 ///
 /// Returns scenario validation errors, trace open/parse errors, and
-/// [`Error::Io`] on socket failures or node-side `ERR` replies.
-pub fn replay(addr: &str, scenario: &Scenario) -> Result<ReplayReport> {
-    let cells = scenario.clone().with_target(RunTarget::Node).cells()?;
-    let single_point = scenario.is_single_point();
-    let mut client = NodeClient::connect(addr)?;
+/// [`Error::Io`](mosaic_types::Error::Io) on socket failures or
+/// node-side `ERR` replies.
+pub fn replay(addr: &str, scenario: &Scenario, wire: Wire) -> Result<ReplayReport> {
     let start = Instant::now();
+    let (cells, txs) = replay_one(addr, scenario, wire)?;
+    Ok(ReplayReport {
+        cells,
+        txs,
+        seconds: start.elapsed().as_secs_f64(),
+        wire,
+        sessions: 1,
+    })
+}
+
+/// Replays `scenario` over `sessions` concurrent connections (each its
+/// own server-side session) and verifies every session's per-cell CSV
+/// is byte-identical before reporting.
+///
+/// # Errors
+///
+/// Everything [`replay`] returns, plus an error if any two sessions
+/// disagree on a cell's bytes (a session-isolation violation on the
+/// node).
+pub fn replay_sessions(
+    addr: &str,
+    scenario: &Scenario,
+    wire: Wire,
+    sessions: usize,
+) -> Result<ReplayReport> {
+    if sessions <= 1 {
+        return replay(addr, scenario, wire);
+    }
+    let start = Instant::now();
+    let runs: Vec<Result<(Vec<CellReplay>, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| scope.spawn(move || replay_one(addr, scenario, wire)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(run) => run,
+                Err(_) => Err(protocol_error("a replay session panicked".to_string())),
+            })
+            .collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut txs = 0u64;
+    let mut reference: Option<Vec<CellReplay>> = None;
+    for (session, run) in runs.into_iter().enumerate() {
+        let (cells, sent) = run?;
+        txs += sent;
+        match &reference {
+            None => reference = Some(cells),
+            Some(expected) if *expected == cells => {}
+            Some(_) => {
+                return Err(protocol_error(format!(
+                    "session {session} produced different CSV bytes than session 0 — \
+                     per-session isolation is broken on the node"
+                )))
+            }
+        }
+    }
+    Ok(ReplayReport {
+        cells: reference.expect("sessions >= 2"),
+        txs,
+        seconds,
+        wire,
+        sessions,
+    })
+}
+
+/// One connection's replay of every cell: the shared body of [`replay`]
+/// and [`replay_sessions`].
+fn replay_one(addr: &str, scenario: &Scenario, wire: Wire) -> Result<(Vec<CellReplay>, u64)> {
+    let cells = scenario.cells_for(RunTarget::Node)?;
+    let single_point = scenario.is_single_point();
+    let mut client = MosaicClient::connect(addr, wire)?;
     let mut txs = 0u64;
     let mut replayed = Vec::with_capacity(cells.len());
     let mut window: Vec<Transaction> = Vec::new();
     for (index, cell) in cells.iter().enumerate() {
         let mut stream = scenario.trace.window_stream()?;
         let blocks = stream.blocks();
-        client.expect_ok(&Request::Begin {
-            cell: index,
-            blocks,
-        })?;
+        client.begin(index, blocks)?;
         while stream.position() < blocks {
             let to = (stream.position() + CHUNK_BLOCKS).min(blocks);
             window.clear();
             stream.read_to(to, &mut window)?;
-            for tx in &window {
-                client.send_tx(tx)?;
-            }
+            client.ingest_block(&window)?;
             txs += window.len() as u64;
         }
-        client.expect_ok(&Request::End)?;
-        let csv = match client.request(&Request::Csv)? {
-            Response::Csv(lines) => {
-                let mut csv = lines.join("\n");
-                csv.push('\n');
-                csv
-            }
-            Response::Error(message) => return Err(protocol_error(message)),
-            other => return Err(protocol_error(format!("unexpected CSV reply {other:?}"))),
-        };
+        client.end()?;
         replayed.push(CellReplay {
             stem: cell.file_stem(single_point),
-            csv,
+            csv: client.csv()?,
         });
     }
-    Ok(ReplayReport {
-        cells: replayed,
-        txs,
-        seconds: start.elapsed().as_secs_f64(),
-    })
+    Ok((replayed, txs))
 }
 
 /// Runs the same cells offline through [`Simulation::stream_cell`] and
@@ -172,18 +182,4 @@ pub fn offline_baseline_seconds(scenario: &Scenario) -> Result<f64> {
         simulation.stream_cell(cell, &mut std::io::sink())?;
     }
     Ok(start.elapsed().as_secs_f64())
-}
-
-fn io_error(path: &str, e: &std::io::Error) -> Error {
-    Error::Io {
-        path: path.to_string(),
-        message: e.to_string(),
-    }
-}
-
-fn protocol_error(message: String) -> Error {
-    Error::Io {
-        path: "<node>".to_string(),
-        message,
-    }
 }

@@ -8,10 +8,11 @@
 //! [`mosaic_metrics::EpochCsvWriter`] would write it, which is what
 //! makes the `CSV` reply byte-identical to the offline runner's files.
 //!
-//! The session is single-threaded by design: the server funnels every
-//! connection's requests through one core thread (per-shard parallelism
-//! lives *inside* the ledger's worker pool), so ordering is the arrival
-//! order on the channel and no locking is needed here.
+//! The session is single-threaded by design: the server gives every
+//! connection its own session on a dedicated core thread (per-shard
+//! parallelism lives *inside* the ledger's worker pool), so ordering is
+//! the arrival order on that connection's channel and no locking is
+//! needed here.
 
 use mosaic_metrics::report::EPOCH_CSV_HEADER;
 use mosaic_metrics::EpochMetrics;
@@ -50,7 +51,7 @@ impl NodeSession {
     ///
     /// Propagates [`Scenario::cells`] validation errors.
     pub fn new(scenario: Scenario) -> Result<Self> {
-        let cells = scenario.with_target(RunTarget::Node).cells()?;
+        let cells = scenario.cells_for(RunTarget::Node)?;
         Ok(NodeSession {
             cells,
             active: None,
@@ -71,7 +72,7 @@ impl NodeSession {
         match Request::parse(line) {
             Ok(request) => self.apply(request),
             Err(message) => {
-                if Request::expects_reply(line) {
+                if Request::line_expects_reply(line) {
                     Some(Response::Error(message))
                 } else {
                     self.defer(message);
@@ -81,12 +82,20 @@ impl NodeSession {
         }
     }
 
-    /// Applies one parsed request. `None` only for [`Request::Tx`].
+    /// Applies one parsed request. `None` exactly when
+    /// `!request.expects_reply()` ([`Request::Tx`] /
+    /// [`Request::TxBatch`]).
     pub fn apply(&mut self, request: Request) -> Option<Response> {
         match request {
             Request::Begin { cell, blocks } => Some(self.begin(cell, blocks)),
             Request::Tx(tx) => {
                 self.ingest(tx);
+                None
+            }
+            Request::TxBatch(txs) => {
+                for tx in txs {
+                    self.ingest(tx);
+                }
                 None
             }
             Request::End => Some(self.end()),
@@ -173,7 +182,10 @@ impl NodeSession {
         }
     }
 
-    fn defer(&mut self, message: String) {
+    /// Records a fire-and-forget failure (e.g. a malformed `TX` line
+    /// classified by the codec) for the `END` reply. First error wins,
+    /// matching ingestion errors.
+    pub fn defer(&mut self, message: String) {
         if self.deferred.is_none() {
             self.deferred = Some(message);
         }

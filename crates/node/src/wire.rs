@@ -1,0 +1,831 @@
+//! The codec layer: one typed protocol ([`Request`] / [`Response`]),
+//! two interchangeable wire encodings.
+//!
+//! [`Wire::Line`] is the original human-speakable form — one ASCII line
+//! per message, byte-compatible with the PR 8 protocol, still right for
+//! `nc` debugging. [`Wire::Binary`] is a length-prefixed frame format
+//! for ingest-rate traffic: every message is
+//!
+//! ```text
+//! [u32 LE frame length] [u8 tag] [payload …]
+//! ```
+//!
+//! where the length covers tag + payload. Integers are little-endian;
+//! strings are `u32` length + UTF-8 bytes; a transaction is a fixed
+//! 33-byte record (`id`, `block`, `from`, `to` as `u64`, kind byte).
+//! The [`Request::TxBatch`] frame carries a whole block of transactions
+//! behind a single length check, which is what closes the per-line
+//! parse gap of the text protocol.
+//!
+//! # Version negotiation
+//!
+//! A binary client opens the connection with a 5-byte hello —
+//! [`MAGIC`] (`"MOSB"`) + version byte — and the server answers with
+//! the same magic + the accepted version ([`VERSION`]), or magic + `0`
+//! if it cannot speak the client's version. A connection that starts
+//! with anything else is a line-mode session: no request verb begins
+//! with `M`, so the first bytes disambiguate and the already-consumed
+//! prefix is replayed into the line reader. Line mode therefore needs
+//! no hello and stays byte-compatible for existing clients.
+
+use std::io::{self, BufRead, Read, Write};
+use std::str::FromStr;
+
+use mosaic_types::{AccountId, BlockHeight, Transaction, TxId, TxKind};
+
+use crate::proto::{Request, Response};
+
+/// The binary hello's magic bytes (`"MOSB"`).
+pub const MAGIC: [u8; 4] = *b"MOSB";
+/// The one binary protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on one frame's length — a corrupt or hostile length
+/// prefix must not translate into an unbounded allocation.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Bytes of one fixed-width transaction record.
+const TX_BYTES: usize = 33;
+
+// Request tags (client → node).
+const TAG_BEGIN: u8 = 1;
+const TAG_TX: u8 = 2;
+const TAG_TX_BATCH: u8 = 3;
+const TAG_END: u8 = 4;
+const TAG_LOOKUP: u8 = 5;
+const TAG_LOAD: u8 = 6;
+const TAG_CSV: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+// Response tags (node → client).
+const TAG_OK: u8 = 1;
+const TAG_ERROR: u8 = 2;
+const TAG_SHARD: u8 = 3;
+const TAG_RESP_LOAD: u8 = 4;
+const TAG_RESP_CSV: u8 = 5;
+
+/// Which encoding a connection speaks. Copyable so both endpoints can
+/// thread it through their read/write paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Wire {
+    /// One ASCII line per message ([`Request::encode`] /
+    /// [`Response::write_to`]) — `nc`-friendly, byte-compatible with
+    /// the original protocol.
+    Line,
+    /// Length-prefixed binary frames with batched `TX` blocks (the
+    /// default for programmatic clients).
+    #[default]
+    Binary,
+}
+
+impl Wire {
+    /// The token used on CLI flags and in `BENCH_node.json` entries.
+    pub fn token(self) -> &'static str {
+        match self {
+            Wire::Line => "line",
+            Wire::Binary => "binary",
+        }
+    }
+}
+
+impl std::fmt::Display for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for Wire {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "line" => Ok(Wire::Line),
+            "binary" => Ok(Wire::Binary),
+            other => Err(format!("unknown wire {other:?}; valid: line, binary")),
+        }
+    }
+}
+
+/// One decoded unit of client input, as the server's read loop sees it.
+///
+/// Malformed input is data, not an I/O failure: the framing survives it
+/// (a line ends at its newline, a binary frame at its length prefix),
+/// so the connection keeps going. The server answers `Malformed` with
+/// an immediate `ERR` — unless the input was fire-and-forget transaction
+/// traffic, whose errors defer to `END` like any ingestion error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A well-formed request.
+    Request(Request),
+    /// Input that did not decode into a request.
+    Malformed {
+        /// Human-readable description of what was wrong.
+        message: String,
+        /// `true` when the input was transaction traffic (a `TX` line
+        /// or a `TX`/`TX_BATCH` frame), which never gets a direct
+        /// reply: the error is deferred to the `END` reply instead.
+        fire_and_forget: bool,
+    },
+}
+
+impl Wire {
+    /// Writes one request in this encoding. Buffered but not flushed —
+    /// the caller decides where the round-trip boundaries are.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn write_request(self, out: &mut impl Write, request: &Request) -> io::Result<()> {
+        if let Request::TxBatch(txs) = request {
+            return self.write_tx_batch(out, txs);
+        }
+        match self {
+            Wire::Line => writeln!(out, "{}", request.encode()),
+            Wire::Binary => {
+                let mut frame = Vec::with_capacity(64);
+                match request {
+                    Request::Begin { cell, blocks } => {
+                        frame.push(TAG_BEGIN);
+                        put_u64(&mut frame, *cell as u64);
+                        put_u64(&mut frame, *blocks);
+                    }
+                    Request::Tx(tx) => {
+                        frame.push(TAG_TX);
+                        put_tx(&mut frame, tx);
+                    }
+                    Request::TxBatch(_) => unreachable!("handled above"),
+                    Request::End => frame.push(TAG_END),
+                    Request::Lookup(account) => {
+                        frame.push(TAG_LOOKUP);
+                        put_u64(&mut frame, account.as_u64());
+                    }
+                    Request::Load => frame.push(TAG_LOAD),
+                    Request::Csv => frame.push(TAG_CSV),
+                    Request::Shutdown => frame.push(TAG_SHUTDOWN),
+                }
+                write_frame(out, &frame)
+            }
+        }
+    }
+
+    /// Writes a block of transactions without materialising a
+    /// [`Request::TxBatch`]: one frame on the binary wire, one `TX`
+    /// line each on the line wire. Fire-and-forget either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn write_tx_batch(self, out: &mut impl Write, txs: &[Transaction]) -> io::Result<()> {
+        match self {
+            Wire::Line => {
+                for tx in txs {
+                    writeln!(out, "{}", Request::Tx(*tx).encode())?;
+                }
+                Ok(())
+            }
+            Wire::Binary => {
+                let mut frame = Vec::with_capacity(5 + txs.len() * TX_BYTES);
+                frame.push(TAG_TX_BATCH);
+                put_u32(&mut frame, txs.len() as u32);
+                for tx in txs {
+                    put_tx(&mut frame, tx);
+                }
+                write_frame(out, &frame)
+            }
+        }
+    }
+
+    /// Reads the next unit of client input. `Ok(None)` is a clean end
+    /// of stream (the peer closed between messages).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a stream ending mid-message, an oversized or empty
+    /// binary frame, or an unknown frame tag (version skew — the
+    /// framing can no longer be trusted, so the error is fatal rather
+    /// than a recoverable [`Incoming::Malformed`]).
+    pub fn read_request(self, input: &mut impl BufRead) -> io::Result<Option<Incoming>> {
+        match self {
+            Wire::Line => loop {
+                let mut line = String::new();
+                if input.read_line(&mut line)? == 0 {
+                    return Ok(None);
+                }
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                return Ok(Some(match Request::parse(line) {
+                    Ok(request) => Incoming::Request(request),
+                    Err(message) => Incoming::Malformed {
+                        message,
+                        fire_and_forget: !Request::line_expects_reply(line),
+                    },
+                }));
+            },
+            Wire::Binary => {
+                let Some(frame) = read_frame(input)? else {
+                    return Ok(None);
+                };
+                decode_request(&frame).map(Some)
+            }
+        }
+    }
+
+    /// Writes one response in this encoding and leaves flushing to the
+    /// caller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error.
+    pub fn write_response(self, out: &mut impl Write, response: &Response) -> io::Result<()> {
+        match self {
+            Wire::Line => response.write_to(out),
+            Wire::Binary => {
+                let mut frame = Vec::with_capacity(64);
+                match response {
+                    Response::Ok(detail) => {
+                        frame.push(TAG_OK);
+                        put_str(&mut frame, detail);
+                    }
+                    Response::Error(message) => {
+                        frame.push(TAG_ERROR);
+                        put_str(&mut frame, message);
+                    }
+                    Response::Shard(shard) => {
+                        frame.push(TAG_SHARD);
+                        frame.extend_from_slice(&shard.to_le_bytes());
+                    }
+                    Response::Load(lines) => {
+                        frame.push(TAG_RESP_LOAD);
+                        put_lines(&mut frame, lines);
+                    }
+                    Response::Csv(lines) => {
+                        frame.push(TAG_RESP_CSV);
+                        put_lines(&mut frame, lines);
+                    }
+                }
+                write_frame(out, &frame)
+            }
+        }
+    }
+
+    /// Reads one response off the wire. A response is always owed when
+    /// this is called, so end-of-stream is an error, not `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::UnexpectedEof`] if the stream ends first and
+    /// [`io::ErrorKind::InvalidData`] on a malformed response.
+    pub fn read_response(self, input: &mut impl BufRead) -> io::Result<Response> {
+        match self {
+            Wire::Line => Response::read_from(input),
+            Wire::Binary => {
+                let frame = read_frame(input)?.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed while a response was owed",
+                    )
+                })?;
+                decode_response(&frame)
+            }
+        }
+    }
+}
+
+/// What the server learned from a connection's first bytes.
+pub(crate) enum Negotiated {
+    /// A line-mode session; the consumed prefix bytes must be replayed
+    /// ahead of the stream (empty for an immediate end of stream).
+    Line(Vec<u8>),
+    /// A binary session at [`VERSION`]; the hello has been consumed and
+    /// the server still owes its hello reply.
+    Binary,
+    /// A binary hello carrying a version this build cannot speak.
+    Unsupported(u8),
+}
+
+/// Classifies a fresh connection by its opening bytes (see the module
+/// docs): a binary hello, an unsupported binary version, or line mode
+/// with the consumed prefix to replay.
+pub(crate) fn accept_hello(reader: &mut impl Read) -> io::Result<Negotiated> {
+    let mut first = [0u8; 1];
+    if reader.read(&mut first)? == 0 {
+        return Ok(Negotiated::Line(Vec::new()));
+    }
+    if first[0] != MAGIC[0] {
+        return Ok(Negotiated::Line(first.to_vec()));
+    }
+    // 'M' can only start a binary hello (no request verb uses it), so
+    // blocking for the remaining 4 bytes cannot starve a line client.
+    let mut rest = [0u8; 4];
+    reader.read_exact(&mut rest)?;
+    if rest[..3] == MAGIC[1..] {
+        if rest[3] == VERSION {
+            Ok(Negotiated::Binary)
+        } else {
+            Ok(Negotiated::Unsupported(rest[3]))
+        }
+    } else {
+        let mut prefix = first.to_vec();
+        prefix.extend_from_slice(&rest);
+        Ok(Negotiated::Line(prefix))
+    }
+}
+
+/// The server's half of the hello: magic + the version it accepts
+/// (`0` = rejection, after which the server closes the connection).
+pub(crate) fn write_server_hello(writer: &mut impl Write, version: u8) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&[version])?;
+    writer.flush()
+}
+
+/// Performs the client's half of the binary hello and checks the
+/// server's answer.
+pub(crate) fn client_hello(writer: &mut impl Write, reader: &mut impl Read) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&[VERSION])?;
+    writer.flush()?;
+    let mut hello = [0u8; 5];
+    reader.read_exact(&mut hello)?;
+    if hello[..4] != MAGIC {
+        return Err(invalid(
+            "node did not answer the binary hello (line-mode-only peer?)".to_string(),
+        ));
+    }
+    match hello[4] {
+        VERSION => Ok(()),
+        0 => Err(invalid(format!(
+            "node rejected binary protocol version {VERSION}"
+        ))),
+        other => Err(invalid(format!(
+            "node negotiated unsupported binary protocol version {other}"
+        ))),
+    }
+}
+
+fn write_frame(out: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    out.write_all(&(frame.len() as u32).to_le_bytes())?;
+    out.write_all(frame)
+}
+
+/// Reads one length-prefixed frame; `None` on a clean end of stream at
+/// a frame boundary.
+fn read_frame(input: &mut impl BufRead) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        match input.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 {
+        return Err(invalid("empty binary frame".to_string()));
+    }
+    if len > MAX_FRAME {
+        return Err(invalid(format!(
+            "binary frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut frame = vec![0u8; len];
+    input.read_exact(&mut frame)?;
+    Ok(Some(frame))
+}
+
+fn decode_request(frame: &[u8]) -> io::Result<Incoming> {
+    let (tag, payload) = (frame[0], &frame[1..]);
+    let fire_and_forget = tag == TAG_TX || tag == TAG_TX_BATCH;
+    let mut r = Reader::new(payload);
+    let decoded = (|| -> Result<Request, String> {
+        let request = match tag {
+            TAG_BEGIN => Request::Begin {
+                cell: r.u64("cell index")? as usize,
+                blocks: r.u64("block count")?,
+            },
+            TAG_TX => Request::Tx(r.tx()?),
+            TAG_TX_BATCH => {
+                let count = r.u32("batch count")? as usize;
+                if count.saturating_mul(TX_BYTES) != r.remaining() {
+                    return Err(format!(
+                        "TX batch claims {count} transactions but carries {} payload bytes",
+                        r.remaining()
+                    ));
+                }
+                let mut txs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    txs.push(r.tx()?);
+                }
+                Request::TxBatch(txs)
+            }
+            TAG_END => Request::End,
+            TAG_LOOKUP => Request::Lookup(AccountId::new(r.u64("account id")?)),
+            TAG_LOAD => Request::Load,
+            TAG_CSV => Request::Csv,
+            TAG_SHUTDOWN => Request::Shutdown,
+            other => return Err(format!("unknown request frame tag {other}")),
+        };
+        if r.remaining() != 0 {
+            return Err(format!(
+                "{} trailing bytes after request frame tag {tag}",
+                r.remaining()
+            ));
+        }
+        Ok(request)
+    })();
+    match decoded {
+        Ok(request) => Ok(Incoming::Request(request)),
+        // An unknown tag means version skew: the payload layout (and so
+        // the reply discipline) is unknowable, so fail the connection.
+        Err(message) if !known_request_tag(tag) => Err(invalid(message)),
+        Err(message) => Ok(Incoming::Malformed {
+            message,
+            fire_and_forget,
+        }),
+    }
+}
+
+fn known_request_tag(tag: u8) -> bool {
+    (TAG_BEGIN..=TAG_SHUTDOWN).contains(&tag)
+}
+
+fn decode_response(frame: &[u8]) -> io::Result<Response> {
+    let (tag, payload) = (frame[0], &frame[1..]);
+    let mut r = Reader::new(payload);
+    let response = match tag {
+        TAG_OK => Response::Ok(r.str("OK detail").map_err(invalid)?),
+        TAG_ERROR => Response::Error(r.str("ERR message").map_err(invalid)?),
+        TAG_SHARD => Response::Shard(r.u16("shard index").map_err(invalid)?),
+        TAG_RESP_LOAD => Response::Load(r.lines("LOAD").map_err(invalid)?),
+        TAG_RESP_CSV => Response::Csv(r.lines("CSV").map_err(invalid)?),
+        other => return Err(invalid(format!("unknown response frame tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(invalid(format!(
+            "{} trailing bytes after response frame tag {tag}",
+            r.remaining()
+        )));
+    }
+    Ok(response)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_lines(buf: &mut Vec<u8>, lines: &[String]) {
+    put_u32(buf, lines.len() as u32);
+    for line in lines {
+        put_str(buf, line);
+    }
+}
+
+fn put_tx(buf: &mut Vec<u8>, tx: &Transaction) {
+    put_u64(buf, tx.id.as_u64());
+    put_u64(buf, tx.block.as_u64());
+    put_u64(buf, tx.from.as_u64());
+    put_u64(buf, tx.to.as_u64());
+    buf.push(match tx.kind {
+        TxKind::Transfer => 0,
+        TxKind::ContractCall => 1,
+    });
+}
+
+/// A bounds-checked cursor over one frame's payload. Errors are plain
+/// strings; the caller decides whether they are fatal or deferrable.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.bytes.len() < n {
+            return Err(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.bytes.len()
+            ));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not valid UTF-8"))
+    }
+
+    fn lines(&mut self, what: &str) -> Result<Vec<String>, String> {
+        let count = self.u32(what)? as usize;
+        // A hostile count cannot reserve more than the frame can hold:
+        // every line costs at least its 4-byte length prefix.
+        let mut lines = Vec::with_capacity(count.min(self.remaining() / 4 + 1));
+        for _ in 0..count {
+            lines.push(self.str(what)?);
+        }
+        Ok(lines)
+    }
+
+    fn tx(&mut self) -> Result<Transaction, String> {
+        let id = self.u64("tx id")?;
+        let block = self.u64("block height")?;
+        let from = self.u64("sender account")?;
+        let to = self.u64("receiver account")?;
+        let kind = match self.take(1, "tx kind")?[0] {
+            0 => TxKind::Transfer,
+            1 => TxKind::ContractCall,
+            other => return Err(format!("unknown tx kind byte {other}; valid: 0, 1")),
+        };
+        Ok(Transaction::with_kind(
+            TxId::new(id),
+            AccountId::new(from),
+            AccountId::new(to),
+            BlockHeight::new(block),
+            kind,
+        ))
+    }
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::with_kind(
+            TxId::new(id),
+            AccountId::new(id + 1),
+            AccountId::new(id + 2),
+            BlockHeight::new(id / 2),
+            if id.is_multiple_of(2) {
+                TxKind::Transfer
+            } else {
+                TxKind::ContractCall
+            },
+        )
+    }
+
+    #[test]
+    fn binary_requests_roundtrip() {
+        for request in [
+            Request::Begin {
+                cell: 7,
+                blocks: 9000,
+            },
+            Request::Tx(tx(4)),
+            Request::TxBatch(vec![tx(1), tx(2), tx(3)]),
+            Request::TxBatch(Vec::new()),
+            Request::End,
+            Request::Lookup(AccountId::new(u64::MAX)),
+            Request::Load,
+            Request::Csv,
+            Request::Shutdown,
+        ] {
+            let mut bytes = Vec::new();
+            Wire::Binary.write_request(&mut bytes, &request).unwrap();
+            let back = Wire::Binary
+                .read_request(&mut Cursor::new(&bytes[..]))
+                .unwrap()
+                .unwrap();
+            assert_eq!(back, Incoming::Request(request));
+        }
+    }
+
+    #[test]
+    fn binary_responses_roundtrip() {
+        for response in [
+            Response::Ok(String::new()),
+            Response::Ok("cell 3 (Pilot)".to_string()),
+            Response::Error("no active run".to_string()),
+            Response::Shard(u16::MAX),
+            Response::Load(vec!["epoch 4".to_string(), "shard 0 10 2".to_string()]),
+            Response::Csv(Vec::new()),
+        ] {
+            let mut bytes = Vec::new();
+            Wire::Binary.write_response(&mut bytes, &response).unwrap();
+            let back = Wire::Binary
+                .read_response(&mut Cursor::new(&bytes[..]))
+                .unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn binary_responses_keep_embedded_newlines() {
+        // Unlike the line wire, framing is by length: payload bytes are
+        // opaque, so newlines survive the trip untouched.
+        let response = Response::Error("two\nlines".to_string());
+        let mut bytes = Vec::new();
+        Wire::Binary.write_response(&mut bytes, &response).unwrap();
+        assert_eq!(
+            Wire::Binary
+                .read_response(&mut Cursor::new(&bytes[..]))
+                .unwrap(),
+            response
+        );
+    }
+
+    #[test]
+    fn line_reader_classifies_malformed_input() {
+        let mut input = Cursor::new(b"FLY me\nTX broken\n".to_vec());
+        let Some(Incoming::Malformed {
+            fire_and_forget, ..
+        }) = Wire::Line.read_request(&mut input).unwrap()
+        else {
+            panic!("unknown verb must be malformed");
+        };
+        assert!(!fire_and_forget);
+        let Some(Incoming::Malformed {
+            fire_and_forget, ..
+        }) = Wire::Line.read_request(&mut input).unwrap()
+        else {
+            panic!("bad TX line must be malformed");
+        };
+        assert!(fire_and_forget);
+        assert_eq!(Wire::Line.read_request(&mut input).unwrap(), None);
+    }
+
+    #[test]
+    fn binary_reader_defers_bad_tx_payloads_and_rejects_unknown_tags() {
+        // A TX frame with a bad kind byte: recoverable, fire-and-forget.
+        let mut frame = vec![TAG_TX];
+        for _ in 0..4 {
+            put_u64(&mut frame, 1);
+        }
+        frame.push(9); // not a kind
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let Some(Incoming::Malformed {
+            fire_and_forget, ..
+        }) = Wire::Binary
+            .read_request(&mut Cursor::new(&bytes[..]))
+            .unwrap()
+        else {
+            panic!("bad kind byte must be malformed");
+        };
+        assert!(fire_and_forget);
+
+        // A bad LOOKUP payload: recoverable, expects the ERR reply.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &[TAG_LOOKUP, 1, 2]).unwrap();
+        let Some(Incoming::Malformed {
+            fire_and_forget, ..
+        }) = Wire::Binary
+            .read_request(&mut Cursor::new(&bytes[..]))
+            .unwrap()
+        else {
+            panic!("short LOOKUP must be malformed");
+        };
+        assert!(!fire_and_forget);
+
+        // An unknown tag: fatal (version skew).
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &[99]).unwrap();
+        let err = Wire::Binary
+            .read_request(&mut Cursor::new(&bytes[..]))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_length_is_guarded() {
+        // Empty frame.
+        let err = Wire::Binary
+            .read_request(&mut Cursor::new(0u32.to_le_bytes().to_vec()))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Oversized claim.
+        let err = Wire::Binary
+            .read_request(&mut Cursor::new(u32::MAX.to_le_bytes().to_vec()))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated mid-header and mid-payload.
+        let err = Wire::Binary
+            .read_request(&mut Cursor::new(vec![5u8, 0]))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let mut bytes = 8u32.to_le_bytes().to_vec();
+        bytes.push(TAG_END);
+        let err = Wire::Binary
+            .read_request(&mut Cursor::new(bytes))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn batch_count_must_match_payload() {
+        let mut frame = vec![TAG_TX_BATCH];
+        put_u32(&mut frame, 5); // claims 5 txs, carries 1
+        put_tx(&mut frame, &tx(0));
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let Some(Incoming::Malformed {
+            message,
+            fire_and_forget,
+        }) = Wire::Binary
+            .read_request(&mut Cursor::new(&bytes[..]))
+            .unwrap()
+        else {
+            panic!("count mismatch must be malformed");
+        };
+        assert!(fire_and_forget);
+        assert!(message.contains("claims 5"), "{message}");
+    }
+
+    #[test]
+    fn hello_negotiation_disambiguates_first_bytes() {
+        // Binary hello at the supported version.
+        let mut input = Cursor::new(b"MOSB\x01rest".to_vec());
+        assert!(matches!(
+            accept_hello(&mut input).unwrap(),
+            Negotiated::Binary
+        ));
+        // Unsupported version.
+        let mut input = Cursor::new(b"MOSB\x07".to_vec());
+        assert!(matches!(
+            accept_hello(&mut input).unwrap(),
+            Negotiated::Unsupported(7)
+        ));
+        // A line request: consumed prefix comes back for replay.
+        let mut input = Cursor::new(b"BEGIN 0 2000\n".to_vec());
+        let Negotiated::Line(prefix) = accept_hello(&mut input).unwrap() else {
+            panic!("line mode expected");
+        };
+        assert_eq!(prefix, b"B");
+        // 'M'-prefixed garbage that is not the magic.
+        let mut input = Cursor::new(b"MOON landing\n".to_vec());
+        let Negotiated::Line(prefix) = accept_hello(&mut input).unwrap() else {
+            panic!("line mode expected");
+        };
+        assert_eq!(prefix, b"MOON ");
+        // Immediate close.
+        let mut input = Cursor::new(Vec::new());
+        let Negotiated::Line(prefix) = accept_hello(&mut input).unwrap() else {
+            panic!("line mode expected");
+        };
+        assert!(prefix.is_empty());
+    }
+
+    #[test]
+    fn client_hello_checks_the_servers_answer() {
+        let mut out = Vec::new();
+        client_hello(&mut out, &mut Cursor::new(b"MOSB\x01".to_vec())).unwrap();
+        assert_eq!(out, b"MOSB\x01");
+        let err = client_hello(&mut Vec::new(), &mut Cursor::new(b"MOSB\x00".to_vec()))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("rejected"), "{err}");
+        let err = client_hello(&mut Vec::new(), &mut Cursor::new(b"NOPE!".to_vec()))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("hello"), "{err}");
+    }
+}

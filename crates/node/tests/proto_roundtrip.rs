@@ -1,34 +1,43 @@
-//! Property test: the node wire format round-trips exactly — every
-//! request through `encode`/`parse`, every response through
-//! `write_to`/`read_from` — for arbitrary field values.
+//! Property test: the typed protocol round-trips exactly through
+//! **both** codecs — every request and response via the line wire
+//! (`encode`/`parse`, `write_to`/`read_from`) and via the binary frame
+//! wire — for arbitrary field values. Also pins the line rendering of
+//! `TX` batches: a batch flattens to plain `TX` lines, byte-identical
+//! to sending the transactions one at a time.
 
 use std::io::Cursor;
 
-use mosaic_node::{Request, Response};
+use mosaic_node::wire::Incoming;
+use mosaic_node::{Request, Response, Wire};
 use mosaic_types::{AccountId, BlockHeight, Transaction, TxId, TxKind};
 use proptest::prelude::*;
 
+fn tx_from(a: u64, b: u64, c: u64, d: u64) -> Transaction {
+    Transaction::with_kind(
+        TxId::new(a),
+        AccountId::new(b),
+        AccountId::new(c),
+        BlockHeight::new(d),
+        if a.is_multiple_of(2) {
+            TxKind::Transfer
+        } else {
+            TxKind::ContractCall
+        },
+    )
+}
+
 fn request_from(kind: u8, a: u64, b: u64, c: u64, d: u64) -> Request {
-    match kind % 7 {
+    match kind % 8 {
         0 => Request::Begin {
             cell: (a % 1024) as usize,
             blocks: b.max(1),
         },
-        1 => Request::Tx(Transaction::with_kind(
-            TxId::new(a),
-            AccountId::new(b),
-            AccountId::new(c),
-            BlockHeight::new(d),
-            if a.is_multiple_of(2) {
-                TxKind::Transfer
-            } else {
-                TxKind::ContractCall
-            },
-        )),
+        1 => Request::Tx(tx_from(a, b, c, d)),
         2 => Request::End,
         3 => Request::Lookup(AccountId::new(a)),
         4 => Request::Load,
         5 => Request::Csv,
+        6 => Request::TxBatch(vec![tx_from(a, b, c, d), tx_from(d, c, b, a)]),
         _ => Request::Shutdown,
     }
 }
@@ -51,45 +60,99 @@ fn response_from(kind: u8, a: u64, b: u64, lines: &[u64]) -> Response {
     }
 }
 
+/// Round-trips one request through `wire`, collecting every decoded
+/// request it produces (a line-wire `TX` batch decodes back as its
+/// individual transactions).
+fn through(wire: Wire, request: &Request) -> Vec<Request> {
+    let mut bytes = Vec::new();
+    wire.write_request(&mut bytes, request).unwrap();
+    let mut input = Cursor::new(&bytes[..]);
+    let mut decoded = Vec::new();
+    while let Some(incoming) = wire.read_request(&mut input).unwrap() {
+        match incoming {
+            Incoming::Request(request) => decoded.push(request),
+            Incoming::Malformed { message, .. } => panic!("decoded as malformed: {message}"),
+        }
+    }
+    decoded
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
     #[test]
-    fn requests_roundtrip_through_the_wire_format(
-        kind in 0u8..7,
+    fn requests_roundtrip_through_both_codecs(
+        kind in 0u8..8,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in 0u64..u64::MAX,
         d in 0u64..u64::MAX,
     ) {
         let request = request_from(kind, a, b, c, d);
-        let line = request.encode();
-        prop_assert!(!line.contains('\n'), "requests are single lines: {line:?}");
-        let back = Request::parse(&line).unwrap();
-        prop_assert_eq!(&back, &request, "diverged through {}", line);
-        // The line form is canonical: re-encoding is byte-stable.
-        prop_assert_eq!(back.encode(), line);
-        // Framing agreement: exactly the TX lines are fire-and-forget.
+
+        // Binary wire: every variant is exactly one frame.
+        prop_assert_eq!(through(Wire::Binary, &request), vec![request.clone()]);
+
+        // Line wire: batches flatten to their transactions (the bytes
+        // are indistinguishable from sending them one at a time);
+        // everything else round-trips as itself.
+        let line_decoded = through(Wire::Line, &request);
+        if let Request::TxBatch(txs) = &request {
+            let singles: Vec<Request> = txs.iter().map(|tx| Request::Tx(*tx)).collect();
+            prop_assert_eq!(line_decoded, singles);
+        } else {
+            prop_assert_eq!(&line_decoded, &vec![request.clone()]);
+
+            // The line form is canonical: re-encoding is byte-stable,
+            // and exactly the TX lines are fire-and-forget.
+            let line = request.encode();
+            prop_assert!(!line.contains('\n'), "single lines only: {line:?}");
+            prop_assert_eq!(line_decoded[0].encode(), line.clone());
+            prop_assert_eq!(Request::line_expects_reply(&line), request.expects_reply());
+        }
+    }
+
+    #[test]
+    fn tx_batches_flatten_to_individual_tx_lines(
+        fields in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX), 0..16),
+    ) {
+        let txs: Vec<Transaction> = fields
+            .iter()
+            .map(|&(a, b, c, d)| tx_from(a, b, c, d))
+            .collect();
+
+        // Byte-level: one batch write == N single writes on the line wire.
+        let mut batched = Vec::new();
+        Wire::Line.write_tx_batch(&mut batched, &txs).unwrap();
+        let mut singles = Vec::new();
+        for tx in &txs {
+            Wire::Line.write_request(&mut singles, &Request::Tx(*tx)).unwrap();
+        }
+        prop_assert_eq!(batched, singles);
+
+        // And the binary frame carries the whole batch intact.
         prop_assert_eq!(
-            Request::expects_reply(&request.encode()),
-            !matches!(request, Request::Tx(_))
+            through(Wire::Binary, &Request::TxBatch(txs.clone())),
+            vec![Request::TxBatch(txs)]
         );
     }
 
     #[test]
-    fn responses_roundtrip_through_the_wire_format(
+    fn responses_roundtrip_through_both_codecs(
         kind in 0u8..5,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         lines in proptest::collection::vec(0u64..u64::MAX, 0..8),
     ) {
         let response = response_from(kind, a, b, &lines);
-        let mut bytes = Vec::new();
-        response.write_to(&mut bytes).unwrap();
-        let back = Response::read_from(&mut Cursor::new(&bytes[..])).unwrap();
-        prop_assert_eq!(&back, &response);
-        // Canonical: writing the decoded response is byte-stable.
-        let mut again = Vec::new();
-        back.write_to(&mut again).unwrap();
-        prop_assert_eq!(again, bytes);
+        for wire in [Wire::Line, Wire::Binary] {
+            let mut bytes = Vec::new();
+            wire.write_response(&mut bytes, &response).unwrap();
+            let back = wire.read_response(&mut Cursor::new(&bytes[..])).unwrap();
+            prop_assert_eq!(&back, &response, "diverged through the {} wire", wire);
+            // Canonical: writing the decoded response is byte-stable.
+            let mut again = Vec::new();
+            wire.write_response(&mut again, &back).unwrap();
+            prop_assert_eq!(again, bytes);
+        }
     }
 }

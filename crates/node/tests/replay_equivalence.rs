@@ -1,15 +1,17 @@
 //! End-to-end equivalence: replaying `scenarios/quick.scenario` through
 //! an in-process `mosaic-node` service produces byte-identical
 //! per-epoch CSV to the offline [`Simulation`] run of the same cells —
-//! the node and the simulator are two drivers over one
-//! [`AllocationCore`](mosaic_sim::AllocationCore).
+//! over **both** wire codecs, because the node and the simulator are
+//! two drivers over one [`AllocationCore`](mosaic_sim::AllocationCore)
+//! and the codec only changes how bytes travel, never what the core
+//! sees.
 
 use std::net::TcpListener;
 use std::thread;
 
 use mosaic_node::replay::replay;
-use mosaic_node::{serve, NodeClient, Request, Response};
-use mosaic_sim::{Scenario, Simulation};
+use mosaic_node::{serve, MosaicClient, Wire};
+use mosaic_sim::{RunTarget, Scenario, Simulation};
 use mosaic_types::AccountId;
 
 fn quick_scenario() -> Scenario {
@@ -20,15 +22,11 @@ fn quick_scenario() -> Scenario {
     Scenario::load(path).expect("checked-in scenario parses")
 }
 
-#[test]
-fn node_replay_matches_offline_run_byte_for_byte() {
-    let scenario = quick_scenario();
-
-    // Offline: stream every cell's CSV into memory.
+fn offline_csvs(scenario: &Scenario) -> Vec<(String, String)> {
     let cells = scenario.cells().unwrap();
     let single_point = scenario.is_single_point();
     let simulation = Simulation::from_scenario(scenario.clone()).unwrap();
-    let offline: Vec<(String, String)> = cells
+    cells
         .iter()
         .map(|cell| {
             let mut bytes = Vec::new();
@@ -38,7 +36,13 @@ fn node_replay_matches_offline_run_byte_for_byte() {
                 String::from_utf8(bytes).unwrap(),
             )
         })
-        .collect();
+        .collect()
+}
+
+#[test]
+fn node_replay_matches_offline_run_byte_for_byte_on_both_wires() {
+    let scenario = quick_scenario();
+    let offline = offline_csvs(&scenario);
 
     // Live: boot the service on an ephemeral port and replay into it.
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -46,37 +50,55 @@ fn node_replay_matches_offline_run_byte_for_byte() {
     let serve_scenario = scenario.clone();
     let server = thread::spawn(move || serve(listener, serve_scenario));
 
-    let report = replay(&addr, &scenario).unwrap();
-    assert!(report.txs > 0, "replay sent no transactions");
-    assert_eq!(report.cells.len(), offline.len());
-    for (replayed, (stem, csv)) in report.cells.iter().zip(&offline) {
-        assert_eq!(&replayed.stem, stem);
-        assert_eq!(
-            replayed.csv, *csv,
-            "node-side CSV for cell {stem} diverged from the offline run"
-        );
-    }
-
-    // The last replayed cell is still queryable: lookups resolve and the
-    // load report covers every shard of the cell's parameter point.
-    let mut client = NodeClient::connect(&addr).unwrap();
-    let shards = cells.last().unwrap().config.params.shards();
-    match client.request(&Request::Lookup(AccountId::new(0))).unwrap() {
-        Response::Shard(shard) => assert!(shard < shards),
-        other => panic!("LOOKUP answered {other:?}"),
-    }
-    match client.request(&Request::Load).unwrap() {
-        Response::Load(lines) => {
-            assert!(
-                lines.iter().any(|l| l.starts_with("epochs_processed")),
-                "{lines:?}"
+    for wire in [Wire::Line, Wire::Binary] {
+        let report = replay(&addr, &scenario, wire).unwrap();
+        assert!(report.txs > 0, "{wire} replay sent no transactions");
+        assert_eq!(report.wire, wire);
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.cells.len(), offline.len());
+        for (replayed, (stem, csv)) in report.cells.iter().zip(&offline) {
+            assert_eq!(&replayed.stem, stem);
+            assert_eq!(
+                replayed.csv, *csv,
+                "node-side CSV for cell {stem} diverged from the offline run ({wire} wire)"
             );
-            let shard_lines = lines.iter().filter(|l| l.starts_with("shard ")).count();
-            assert_eq!(shard_lines, usize::from(shards));
         }
-        other => panic!("LOAD answered {other:?}"),
     }
 
-    client.expect_ok(&Request::Shutdown).unwrap();
+    // Queries answer about *this connection's* run (sessions are
+    // per-connection now), so drive one cell by hand and ask on the
+    // same connection.
+    let cells = scenario.cells_for(RunTarget::Node).unwrap();
+    let last = cells.len() - 1;
+    let mut client = MosaicClient::connect(&addr, Wire::Binary).unwrap();
+    let mut stream = scenario.trace.window_stream().unwrap();
+    let blocks = stream.blocks();
+    client.begin(last, blocks).unwrap();
+    let mut window = Vec::new();
+    stream.read_to(blocks, &mut window).unwrap();
+    client.ingest_block(&window).unwrap();
+    client.end().unwrap();
+
+    let shards = cells[last].config.params.shards();
+    let shard = client.lookup(AccountId::new(0)).unwrap();
+    assert!(shard < shards);
+    let lines = client.load().unwrap();
+    assert!(
+        lines.iter().any(|l| l.starts_with("epochs_processed")),
+        "{lines:?}"
+    );
+    let shard_lines = lines.iter().filter(|l| l.starts_with("shard ")).count();
+    assert_eq!(shard_lines, usize::from(shards));
+    // And the session's CSV is the offline bytes for that cell.
+    assert_eq!(client.csv().unwrap(), offline[last].1);
+
+    // A *fresh* connection has a fresh session: no active run to query.
+    let mut fresh = MosaicClient::connect(&addr, Wire::Line).unwrap();
+    let err = fresh.csv().unwrap_err().to_string();
+    assert!(err.contains("no active run"), "{err}");
+
+    fresh.shutdown().unwrap();
+    drop(fresh);
+    drop(client);
     server.join().unwrap().unwrap();
 }

@@ -361,6 +361,36 @@ pub enum RunTarget {
     Node,
 }
 
+impl RunTarget {
+    /// Checks the target-specific spec invariants — the single home for
+    /// every "this spec cannot drive that kind of driver" rule, called
+    /// by [`Scenario::validate`]. [`RunTarget::Offline`] accepts any
+    /// otherwise-valid spec; [`RunTarget::Node`] rejects observers that
+    /// would accumulate rows in the driving process, because a node
+    /// run's per-epoch rows live on the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParseScenario`] (line 0) naming the violated
+    /// target rule.
+    pub fn validate(self, scenario: &Scenario) -> Result<()> {
+        match self {
+            RunTarget::Offline => Ok(()),
+            RunTarget::Node => {
+                if scenario.observers.contains(&ObserverSpec::Collect) {
+                    return Err(parse_error(
+                        0,
+                        "a node/replay target cannot be combined with the 'collect' observer \
+                         (per-epoch rows live on the mosaic-node service, not in the driving \
+                         process); use stream-csv:<dir> instead",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// A complete, serializable experiment specification.
 ///
 /// Construct with [`Scenario::new`] + `with_*` helpers, a preset
@@ -618,6 +648,26 @@ impl Scenario {
         Ok(cells)
     }
 
+    /// [`Scenario::cells`] under an explicit [`RunTarget`]: validates
+    /// and expands the spec as `target` would see it, without the
+    /// caller cloning and re-tagging the scenario by hand. A
+    /// `mosaic-node` service expands with
+    /// `scenario.cells_for(RunTarget::Node)` whatever target the file
+    /// declared, so node-incompatible specs (e.g. a `collect` observer)
+    /// are rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::cells`], plus the target rules of
+    /// [`RunTarget::validate`] for `target`.
+    pub fn cells_for(&self, target: RunTarget) -> Result<Vec<CellSpec>> {
+        if self.target == target {
+            self.cells()
+        } else {
+            self.clone().with_target(target).cells()
+        }
+    }
+
     /// Checks scenario-level invariants (strategy set, protocol fields,
     /// axis values). Workload fields are validated by the generator at
     /// materialisation time ([`WorkloadConfig::validate`]).
@@ -659,17 +709,9 @@ impl Scenario {
                  use stream-csv:<dir> instead",
             ));
         }
-        // A node run's per-epoch rows live on the service, not in the
-        // driving process — there is no in-memory result set for a
-        // 'collect' observer to fill, so the combination is a spec error.
-        if self.target == RunTarget::Node && self.observers.contains(&ObserverSpec::Collect) {
-            return Err(parse_error(
-                0,
-                "a node/replay target cannot be combined with the 'collect' observer \
-                 (per-epoch rows live on the mosaic-node service, not in the driving \
-                 process); use stream-csv:<dir> instead",
-            ));
-        }
+        // Target-specific rules (e.g. node runs keep their rows on the
+        // service) live with the RunTarget type, one arm per target.
+        self.target.validate(self)?;
         if let Some(dup) = self
             .observers
             .iter()
@@ -1244,6 +1286,52 @@ mod tests {
         let err = Scenario::parse("name = x\ntrace = generated\neval_epochs = 1\ntarget = moon\n")
             .unwrap_err();
         assert!(err.to_string().contains("unknown target"), "{err}");
+    }
+
+    #[test]
+    fn run_target_check_accepts_offline_specs_unconditionally() {
+        // The offline arm imposes no target rules: collect observers,
+        // streaming observers and grids are all the simulator's business.
+        let collect = quick_effectiveness();
+        assert!(RunTarget::Offline.validate(&collect).is_ok());
+        let streaming = Scenario::full_protocol(&Scale::quick());
+        assert!(RunTarget::Offline.validate(&streaming).is_ok());
+    }
+
+    #[test]
+    fn run_target_check_rejects_collect_observer_for_node() {
+        // Node rejection arm: rows live on the service, so an observer
+        // that fills an in-memory result set has nothing to fill.
+        let collect = quick_effectiveness();
+        let err = RunTarget::Node.validate(&collect).unwrap_err();
+        assert!(matches!(err, Error::ParseScenario { line: 0, .. }), "{err}");
+        assert!(err.to_string().contains("node/replay target"), "{err}");
+        assert!(err.to_string().contains("collect"), "{err}");
+    }
+
+    #[test]
+    fn run_target_check_accepts_streaming_observers_for_node() {
+        // The node arm only rejects in-process accumulation; stream-csv
+        // specs (every checked-in node scenario) pass untouched.
+        let streaming = Scenario::full_protocol(&Scale::quick());
+        assert!(RunTarget::Node.validate(&streaming).is_ok());
+    }
+
+    #[test]
+    fn cells_for_retags_without_mutating_the_spec() {
+        // An offline spec with streaming observers expands fine for a
+        // node driver and yields the same cells as the offline view.
+        let scenario = Scenario::full_protocol(&Scale::quick());
+        let node_cells = scenario.cells_for(RunTarget::Node).unwrap();
+        assert_eq!(node_cells, scenario.cells().unwrap());
+        assert_eq!(scenario.target, RunTarget::Offline);
+        // A collect spec is rejected through the same path...
+        let err = quick_effectiveness()
+            .cells_for(RunTarget::Node)
+            .unwrap_err();
+        assert!(err.to_string().contains("node/replay target"), "{err}");
+        // ...but stays valid for its declared offline target.
+        assert!(quick_effectiveness().cells_for(RunTarget::Offline).is_ok());
     }
 
     #[test]

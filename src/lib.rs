@@ -17,6 +17,7 @@
 //! | [`core`] | **the paper's contribution**: Mosaic framework + Pilot |
 //! | [`metrics`] | cross-shard ratio, workload deviation, throughput |
 //! | [`sim`] | the unified epoch engine + experiment runner regenerating Tables I–VI & Fig. 1 |
+//! | [`node`] | the live TCP service + typed client (`MosaicClient`), line & binary codecs |
 //!
 //! # Quickstart
 //!
@@ -105,6 +106,7 @@
 pub use mosaic_chain as chain;
 pub use mosaic_core as core;
 pub use mosaic_metrics as metrics;
+pub use mosaic_node as node;
 pub use mosaic_partition as partition;
 pub use mosaic_sim as sim;
 pub use mosaic_txallo as txallo;
@@ -119,6 +121,7 @@ pub mod prelude {
         Client, CounterpartySet, MosaicFramework, Pilot, PilotDecision, PilotInput, WorkloadOracle,
     };
     pub use mosaic_metrics::{Aggregate, EpochLoad, EpochMetrics, LoadParams, TextTable};
+    pub use mosaic_node::{MosaicClient, Request, Response, Wire};
     pub use mosaic_partition::{GlobalAllocator, HashAllocator, MetisPartitioner};
     pub use mosaic_sim::{
         EpochStrategy, ExperimentConfig, ExperimentResult, Parallelism, Scale, Scenario,
