@@ -15,8 +15,11 @@
 //! through [`Simulation::stream_cell`] at a worker matrix —
 //! `cell_parallelism` 1 vs 2 vs a thread count beyond the machine's
 //! cores, with the adaptive sequential cutoff disabled so the pool
-//! engages at every scale — and the CSV byte streams are compared. Any
-//! difference exits non-zero; this is the end-to-end enforcement of the
+//! engages at every scale — and the CSV byte streams are compared. The
+//! same matrix then re-runs with a process-wide telemetry recorder
+//! installed, so the gate also enforces the observability invariant:
+//! instrumentation must never perturb a result byte. Any difference
+//! exits non-zero; this is the end-to-end enforcement of the
 //! allocators' parallel-equals-sequential contract, exercised through
 //! the scenario parser and session path CI actually ships.
 //!
@@ -35,9 +38,11 @@ use mosaic_bench::{print_header, scenario_path_from_args};
 use mosaic_sim::engine::RunSummary;
 use mosaic_sim::scenario::CellSpec;
 use mosaic_sim::{ObserverSpec, Parallelism, RunObserver, Scale, Scenario, Simulation, Strategy};
+use mosaic_telemetry::Recorder;
 
 /// Runs every cell through the session at a matrix of worker counts
-/// (`cell_parallelism` 1 vs 2 vs max) and fails on any CSV byte
+/// (`cell_parallelism` 1 vs 2 vs max), both with telemetry disabled and
+/// with a live recorder installed, and fails on any CSV byte
 /// difference. Returns `(checked, divergent)` cell counts — a gate that
 /// compared nothing must not pass.
 fn check_determinism(sim: &Simulation) -> (usize, usize) {
@@ -55,13 +60,30 @@ fn check_determinism(sim: &Simulation) -> (usize, usize) {
         .unwrap_or(1)
         .saturating_mul(2)
         .max(4);
-    let worker_levels = [2usize, max_workers];
+    // (workers, instrumented): the telemetry-off baseline matrix, then
+    // the same worker levels with a live recorder installed. Telemetry
+    // events go to `io::sink()` — the recorder still takes every hot
+    // path (counters, spans, clock reads), only the bytes vanish.
+    let variants = [
+        (2usize, false),
+        (max_workers, false),
+        (1, true),
+        (2, true),
+        (max_workers, true),
+    ];
     let mut checked = 0usize;
     let mut divergent = 0usize;
     for cell in sim.cells() {
         checked += 1;
         let name = format!("{} / {}", cell.label, cell.config.strategy.name());
-        let stream_at = |parallelism: Parallelism| {
+        let stream_at = |parallelism: Parallelism, instrumented: bool| {
+            let recorder = if instrumented {
+                Recorder::with_sink(Box::new(std::io::sink()))
+            } else {
+                Recorder::disabled()
+            };
+            mosaic_telemetry::install_global(recorder);
+            mosaic_sim::parallel::thread_pool_reset();
             let mut variant = cell.clone();
             variant.config.cell_parallelism = parallelism;
             let mut bytes: Vec<u8> = Vec::new();
@@ -69,34 +91,38 @@ fn check_determinism(sim: &Simulation) -> (usize, usize) {
                 .expect("vec sink cannot fail");
             bytes
         };
-        let sequential = stream_at(Parallelism::Threads(1));
+        let sequential = stream_at(Parallelism::Threads(1), false);
         let mut cell_ok = true;
-        for workers in worker_levels {
-            let parallel = stream_at(Parallelism::Threads(workers));
-            if sequential != parallel {
+        for (workers, instrumented) in variants {
+            let candidate = stream_at(Parallelism::Threads(workers), instrumented);
+            if sequential != candidate {
                 cell_ok = false;
                 divergent += 1;
                 let first_diff = sequential
                     .iter()
-                    .zip(&parallel)
+                    .zip(&candidate)
                     .position(|(a, b)| a != b)
-                    .unwrap_or_else(|| sequential.len().min(parallel.len()));
+                    .unwrap_or_else(|| sequential.len().min(candidate.len()));
                 eprintln!(
-                    "{name:<20} DIVERGED at {workers} workers: first differing byte \
-                     at offset {first_diff} ({} vs {} bytes total)",
+                    "{name:<20} DIVERGED at {workers} workers (telemetry {}): first \
+                     differing byte at offset {first_diff} ({} vs {} bytes total)",
+                    if instrumented { "on" } else { "off" },
                     sequential.len(),
-                    parallel.len(),
+                    candidate.len(),
                 );
                 break;
             }
         }
         if cell_ok {
             println!(
-                "{name:<20} OK: {} CSV bytes identical at 1 vs 2 vs {max_workers} workers",
+                "{name:<20} OK: {} CSV bytes identical at 1 vs 2 vs {max_workers} workers, \
+                 telemetry on and off",
                 sequential.len(),
             );
         }
     }
+    mosaic_telemetry::install_global(Recorder::disabled());
+    mosaic_sim::parallel::thread_pool_reset();
     (checked, divergent)
 }
 
@@ -164,7 +190,7 @@ fn main() {
     }
     print_header(
         if check {
-            "Determinism gate (cell_parallelism 1 vs 2 vs max, byte-compared CSVs)"
+            "Determinism gate (cell_parallelism 1 vs 2 vs max, telemetry on/off, byte-compared CSVs)"
         } else {
             "Full-protocol streaming run (per-epoch CSV per cell)"
         },
@@ -195,7 +221,7 @@ fn main() {
         single_point: scenario.is_single_point(),
         dir: scenario.observers.iter().find_map(|o| match o {
             ObserverSpec::StreamCsv(dir) => Some(dir.clone()),
-            ObserverSpec::Collect => None,
+            ObserverSpec::Collect | ObserverSpec::Telemetry(_) => None,
         }),
     };
     let sim = Simulation::from_scenario(scenario)

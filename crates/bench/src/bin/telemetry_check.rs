@@ -1,0 +1,294 @@
+//! CI gate for the telemetry JSONL event stream: every line of every
+//! given file must parse as a standalone JSON object, and the run must
+//! have produced at least one event — an empty file would mean the
+//! observer silently never engaged.
+//!
+//! ```text
+//! telemetry_check <file.jsonl>... [--require <kind>]...
+//! ```
+//!
+//! `--require span` (repeatable) additionally fails unless at least one
+//! event with `"kind": "span"` appears across the files — how the
+//! telemetry-smoke job asserts the epoch pipeline actually emitted its
+//! phase spans, per-epoch records, and snapshot lines, not just *some*
+//! bytes. Dependency-free like `bench_check`: the JSON parser below is
+//! the few dozen lines the check needs, not a crate.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("telemetry_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require" => required.push(it.next().ok_or("--require needs an event kind")?.clone()),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("usage: telemetry_check <file.jsonl>... [--require <kind>]...".into());
+    }
+
+    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = parse_json(line)
+                .map_err(|e| format!("{path}:{}: not valid JSON: {e}\n  {line}", index + 1))?;
+            let Json::Object(fields) = value else {
+                return Err(format!(
+                    "{path}:{}: line is not a JSON object\n  {line}",
+                    index + 1
+                ));
+            };
+            total += 1;
+            let kind = match fields.iter().find(|(k, _)| k == "kind") {
+                Some((_, Json::String(kind))) => kind.clone(),
+                _ => "<no kind>".to_string(),
+            };
+            *kinds.entry(kind).or_insert(0) += 1;
+        }
+    }
+    if total == 0 {
+        return Err(format!(
+            "no events in {} — the telemetry observer never engaged",
+            paths.join(", ")
+        ));
+    }
+    for (kind, count) in &kinds {
+        println!("telemetry_check: {count:>6} {kind}");
+    }
+    println!(
+        "telemetry_check: {total} events OK across {} file(s)",
+        paths.len()
+    );
+    for kind in &required {
+        if !kinds.contains_key(kind) {
+            return Err(format!(
+                "no {kind:?} events found (kinds present: {:?})",
+                kinds.keys().collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The minimal JSON value tree the check needs — objects keep insertion
+/// order as (key, value) pairs; numbers stay unparsed beyond syntax.
+enum Json {
+    Null,
+    Bool(#[allow(dead_code)] bool),
+    Number,
+    String(String),
+    Array(#[allow(dead_code)] Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    text.parse::<f64>()
+        .map(|_| Json::Number)
+        .map_err(|_| format!("malformed number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let escaped = bytes.get(*pos).ok_or("unterminated escape".to_string())?;
+                match escaped {
+                    b'"' | b'\\' | b'/' => out.push(*escaped as char),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' | b'f' => out.push(' '),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("unknown escape \\{}", *other as char)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through byte-by-byte; the
+                // final String::from_utf8 on the source already held.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_shaped_lines_parse() {
+        for line in [
+            r#"{"kind":"span","ts_us":12,"scope":"quick_pilot","name":"epoch.train","us":340}"#,
+            r#"{"kind":"epoch","ts_us":99,"epoch":"3","cross_ratio":0.41,"txs":"16000"}"#,
+            r#"{"kind":"histogram","name":"epoch.commit","min_ns":null,"buckets":[0,1,2]}"#,
+            r#"{"kind":"counter","name":"core.txs_ingested","value":80000}"#,
+            "{}",
+        ] {
+            assert!(parse_json(line).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            r#"{"kind":"span""#,
+            r#"{"kind":}"#,
+            r#"[1,2,3"#,
+            r#"{"a":1} trailing"#,
+            r#"{"a":01x}"#,
+            "",
+        ] {
+            assert!(parse_json(line).is_err(), "{line:?} should fail");
+        }
+    }
+}

@@ -85,6 +85,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mosaic_telemetry::{Counter, Recorder};
 
 /// Worker-pool sizing for the helpers in this module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -234,6 +237,44 @@ fn lock(m: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Per-lane telemetry handles: nanoseconds spent running phase work
+/// (`pool.lane<i>.busy_ns`) vs parked / waiting on the barrier
+/// (`pool.lane<i>.park_ns`). Inert (one branch per phase, zero clock
+/// reads) when the pool's recorder is disabled — telemetry never
+/// perturbs results.
+struct LaneTelemetry {
+    busy: Counter,
+    park: Counter,
+}
+
+impl LaneTelemetry {
+    fn for_lane(recorder: &Recorder, lane: usize) -> Self {
+        LaneTelemetry {
+            busy: recorder.counter(&format!("pool.lane{lane}.busy_ns")),
+            park: recorder.counter(&format!("pool.lane{lane}.park_ns")),
+        }
+    }
+
+    /// Starts a clock only when counters land somewhere.
+    fn clock(&self) -> Option<Instant> {
+        self.busy.is_enabled().then(Instant::now)
+    }
+
+    fn add_busy(&self, since: Option<Instant>) {
+        if let Some(start) = since {
+            self.busy
+                .add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    fn add_park(&self, since: Option<Instant>) {
+        if let Some(start) = since {
+            self.park
+                .add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
 /// A persistent, barrier-synchronised worker pool.
 ///
 /// Threads are spawned lazily (grown to the widest phase ever run) and
@@ -243,6 +284,8 @@ fn lock(m: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
+    recorder: Recorder,
+    lane0: LaneTelemetry,
 }
 
 impl Default for WorkerPool {
@@ -252,8 +295,18 @@ impl Default for WorkerPool {
 }
 
 impl WorkerPool {
-    /// Creates an empty pool; threads are spawned on first use.
+    /// Creates an empty pool; threads are spawned on first use. The
+    /// pool captures the process-wide telemetry recorder at this point
+    /// — install it (and [`thread_pool_reset`] existing pools) *before*
+    /// the first parallel call if you want per-lane busy/park time.
     pub fn new() -> Self {
+        WorkerPool::with_recorder(mosaic_telemetry::global())
+    }
+
+    /// Creates an empty pool reporting per-lane busy/park time to
+    /// `recorder` (inert when the recorder is disabled).
+    pub fn with_recorder(recorder: Recorder) -> Self {
+        let lane0 = LaneTelemetry::for_lane(&recorder, 0);
         WorkerPool {
             shared: Arc::new(PoolShared {
                 state: Mutex::new(PoolState {
@@ -268,6 +321,8 @@ impl WorkerPool {
                 done: Condvar::new(),
             }),
             handles: Vec::new(),
+            recorder,
+            lane0,
         }
     }
 
@@ -280,9 +335,10 @@ impl WorkerPool {
         while self.handles.len() < needed {
             let shared = Arc::clone(&self.shared);
             let index = self.handles.len();
+            let telemetry = LaneTelemetry::for_lane(&self.recorder, index + 1);
             let handle = std::thread::Builder::new()
                 .name(format!("mosaic-pool-{index}"))
-                .spawn(move || worker_loop(&shared, index))
+                .spawn(move || worker_loop(&shared, index, &telemetry))
                 .expect("failed to spawn pool worker");
             self.handles.push(handle);
         }
@@ -313,8 +369,11 @@ impl WorkerPool {
         }
 
         // Lane 0 runs here; a panic must not skip the barrier.
+        let busy_start = self.lane0.clock();
         let mine = catch_unwind(AssertUnwindSafe(|| f(0)));
+        self.lane0.add_busy(busy_start);
 
+        let park_start = self.lane0.clock();
         let mut st = lock(&self.shared.state);
         while st.remaining > 0 {
             st = self
@@ -323,6 +382,7 @@ impl WorkerPool {
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+        self.lane0.add_park(park_start);
         st.task = None;
         let worker_panic = st.panic.take();
         drop(st);
@@ -349,9 +409,10 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &PoolShared, index: usize) {
+fn worker_loop(shared: &PoolShared, index: usize, telemetry: &LaneTelemetry) {
     let mut seen = 0u64;
     loop {
+        let park_start = telemetry.clock();
         let task = {
             let mut st = lock(&shared.state);
             loop {
@@ -368,9 +429,12 @@ fn worker_loop(shared: &PoolShared, index: usize) {
                 st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        telemetry.add_park(park_start);
         // SAFETY: the coordinator keeps the closure alive until this
         // worker decrements `remaining` below.
+        let busy_start = telemetry.clock();
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(index + 1) }));
+        telemetry.add_busy(busy_start);
         let mut st = lock(&shared.state);
         if let Err(payload) = result {
             if st.panic.is_none() {
@@ -1023,6 +1087,35 @@ mod tests {
         assert!((256..=8192).contains(&mid), "{mid}");
         // Four-ish chunks per lane once the clamp is inactive.
         assert_eq!(scan_chunk_size(32_768, Parallelism::Threads(4)), 2048);
+    }
+
+    #[test]
+    fn pool_reports_lane_busy_and_park_time() {
+        let recorder = Recorder::enabled();
+        let mut pool = WorkerPool::with_recorder(recorder.clone());
+        pool.run_phase(3, &|_lane| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        let counters = recorder.snapshot().counters;
+        let value = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        for lane in 0..3 {
+            let busy = value(&format!("pool.lane{lane}.busy_ns"));
+            assert!(busy >= 1_000_000, "lane {lane} busy {busy}ns");
+        }
+        // Workers waited for the phase before running it.
+        assert!(value("pool.lane1.park_ns") > 0);
+
+        // A disabled pool registers nothing.
+        let off = Recorder::enabled();
+        let mut silent = WorkerPool::with_recorder(Recorder::disabled());
+        silent.run_phase(2, &|_lane| {});
+        assert!(off.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -18,64 +18,10 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
-/// Online mean/min/max accumulator for durations, used to report the
-/// per-epoch average runtimes of Table IV.
-#[derive(Debug, Clone, Default)]
-pub struct DurationStats {
-    count: u64,
-    total: Duration,
-    min: Option<Duration>,
-    max: Option<Duration>,
-}
-
-impl DurationStats {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, d: Duration) {
-        self.count += 1;
-        self.total += d;
-        self.min = Some(self.min.map_or(d, |m| m.min(d)));
-        self.max = Some(self.max.map_or(d, |m| m.max(d)));
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all observations.
-    pub fn total(&self) -> Duration {
-        self.total
-    }
-
-    /// Mean observation, zero if empty.
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            self.total / self.count as u32
-        }
-    }
-
-    /// Smallest observation, if any.
-    pub fn min(&self) -> Option<Duration> {
-        self.min
-    }
-
-    /// Largest observation, if any.
-    pub fn max(&self) -> Option<Duration> {
-        self.max
-    }
-
-    /// Mean in seconds as `f64` — the unit of Table IV.
-    pub fn mean_seconds(&self) -> f64 {
-        self.mean().as_secs_f64()
-    }
-}
+/// The online mean/min/max accumulator now lives in `mosaic-telemetry`
+/// (folded into its histogram types); this re-export keeps Table IV
+/// callers compiling unchanged.
+pub use mosaic_telemetry::DurationStats;
 
 #[cfg(test)]
 mod tests {
@@ -89,15 +35,10 @@ mod tests {
     }
 
     #[test]
-    fn duration_stats_accumulate() {
+    fn reexported_duration_stats_accumulate() {
         let mut s = DurationStats::new();
-        assert_eq!(s.mean(), Duration::ZERO);
         s.record(Duration::from_millis(10));
         s.record(Duration::from_millis(30));
-        assert_eq!(s.count(), 2);
         assert_eq!(s.mean(), Duration::from_millis(20));
-        assert_eq!(s.min(), Some(Duration::from_millis(10)));
-        assert_eq!(s.max(), Some(Duration::from_millis(30)));
-        assert!((s.mean_seconds() - 0.02).abs() < 1e-9);
     }
 }

@@ -184,6 +184,21 @@ impl MosaicClient {
         }
     }
 
+    /// Fetches the telemetry snapshot: this connection's session
+    /// counters plus the server-wide aggregate. Answers even before
+    /// `BEGIN`; with telemetry off the first line says `telemetry off`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on socket failure or an unexpected reply.
+    pub fn stats(&mut self) -> Result<Vec<String>> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(lines) => Ok(lines),
+            Response::Error(message) => Err(protocol_error(message)),
+            other => Err(protocol_error(format!("unexpected STATS reply {other:?}"))),
+        }
+    }
+
     /// Asks the node to stop accepting connections (acknowledged before
     /// the node begins draining).
     ///

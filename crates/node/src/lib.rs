@@ -21,11 +21,13 @@
 //! * [`proto`] — the typed protocol core and its line rendering:
 //!   `BEGIN`/`TX`/`END` streaming, `LOOKUP` (shard-of-account), `LOAD`
 //!   (per-shard load + migration protocol state), `CSV` (per-epoch
-//!   rows), `SHUTDOWN`;
+//!   rows), `STATS` (telemetry snapshot), `SHUTDOWN`;
 //! * [`wire`] — the codec layer ([`Wire::Line`] / [`Wire::Binary`]) and
 //!   the version hello;
 //! * [`session`] — [`NodeSession`], the protocol-facing state machine
 //!   over one core;
+//! * [`stats`] — [`ServerStats`], the per-session telemetry recorders
+//!   and the server-wide aggregate behind `STATS`;
 //! * [`server`] — [`serve`]: thread-per-connection front end, one
 //!   session core thread per connection behind a bounded queue
 //!   (per-shard work parallelises inside the ledger's worker pool);
@@ -52,11 +54,13 @@ pub mod proto;
 pub mod replay;
 pub mod server;
 pub mod session;
+pub mod stats;
 pub mod wire;
 
 pub use client::MosaicClient;
 pub use proto::{Request, Response};
 pub use replay::{offline_baseline_seconds, CellReplay, ReplayReport};
-pub use server::serve;
+pub use server::{serve, serve_with_telemetry};
 pub use session::NodeSession;
+pub use stats::ServerStats;
 pub use wire::{Incoming, Wire};

@@ -6,20 +6,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mosaic_node::replay::{offline_baseline_seconds, replay_sessions};
-use mosaic_node::{serve, MosaicClient, Wire};
+use mosaic_node::{serve_with_telemetry, MosaicClient, Wire};
 use mosaic_sim::{RunTarget, Scenario};
 use mosaic_types::Result;
 
 const USAGE: &str = "usage:
   mosaic-node serve  --scenario <file> --addr <host:port>
+                     [--telemetry on|off]
   mosaic-node replay --scenario <file> --addr <host:port>
                      [--wire line|binary] [--sessions <n>]
-                     [--out <dir>] [--bench-out <file>] [--shutdown]
+                     [--out <dir>] [--bench-out <file>] [--stats]
+                     [--shutdown]
 
 serve   boots the allocation service for the scenario's cells and blocks
         until a client sends SHUTDOWN. Every connection gets its own
         session and may speak either wire format (negotiated from its
-        first bytes).
+        first bytes). --telemetry off disables all counters (STATS still
+        answers, saying so).
 replay  streams the scenario's trace through a running node, writes each
         cell's node-side per-epoch CSV to <dir> (default: node-results),
         and prints the replay throughput. --wire picks the codec
@@ -27,7 +30,8 @@ replay  streams the scenario's trace through a running node, writes each
         connections and verifies their CSVs are byte-identical.
         --bench-out also times the offline runner on the same cells and
         records the tx/s ratio as a BENCH_node.json-style speedup.
-        --shutdown stops the node after.";
+        --stats prints the node's STATS reply (session + server-wide
+        telemetry) after the replay. --shutdown stops the node after.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +53,8 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
     let mut out_dir = PathBuf::from("node-results");
     let mut bench_out: Option<PathBuf> = None;
     let mut shutdown = false;
+    let mut stats = false;
+    let mut telemetry = true;
     let mut wire = Wire::default();
     let mut sessions = 1usize;
     let mut rest = args[1..].iter();
@@ -56,6 +62,17 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
         match flag.as_str() {
             "--scenario" => scenario_path = Some(PathBuf::from(value(&mut rest, flag)?)),
             "--addr" => addr = Some(value(&mut rest, flag)?),
+            "--telemetry" if command == "serve" => {
+                telemetry = match value(&mut rest, flag)?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "--telemetry must be on or off, not {other:?}\n{USAGE}"
+                        ))
+                    }
+                };
+            }
             "--wire" if command == "replay" => {
                 wire = value(&mut rest, flag)?.parse()?;
             }
@@ -71,6 +88,7 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
             "--bench-out" if command == "replay" => {
                 bench_out = Some(PathBuf::from(value(&mut rest, flag)?))
             }
+            "--stats" if command == "replay" => stats = true,
             "--shutdown" if command == "replay" => shutdown = true,
             other => return Err(format!("unknown flag {other:?} for {command}\n{USAGE}")),
         }
@@ -80,7 +98,7 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
     let scenario = Scenario::load(&scenario_path).map_err(|e| e.to_string())?;
 
     match command.as_str() {
-        "serve" => cmd_serve(&addr, scenario).map_err(|e| e.to_string()),
+        "serve" => cmd_serve(&addr, scenario, telemetry).map_err(|e| e.to_string()),
         "replay" => cmd_replay(
             &addr,
             scenario,
@@ -89,6 +107,7 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
             wire,
             sessions,
             bench_out.as_deref(),
+            stats,
             shutdown,
         )
         .map_err(|e| e.to_string()),
@@ -105,7 +124,7 @@ fn value(
         .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
 }
 
-fn cmd_serve(addr: &str, scenario: Scenario) -> Result<()> {
+fn cmd_serve(addr: &str, scenario: Scenario, telemetry: bool) -> Result<()> {
     let cells = scenario.cells_for(RunTarget::Node)?;
     let listener = TcpListener::bind(addr).map_err(|e| mosaic_types::Error::Io {
         path: addr.to_string(),
@@ -116,11 +135,12 @@ fn cmd_serve(addr: &str, scenario: Scenario) -> Result<()> {
         .map(|a| a.to_string())
         .unwrap_or_else(|_| addr.to_string());
     println!(
-        "mosaic-node: serving '{}' ({} cells) on {local}",
+        "mosaic-node: serving '{}' ({} cells) on {local} (telemetry {})",
         scenario.name,
-        cells.len()
+        cells.len(),
+        if telemetry { "on" } else { "off" },
     );
-    serve(listener, scenario)
+    serve_with_telemetry(listener, scenario, telemetry)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -132,6 +152,7 @@ fn cmd_replay(
     wire: Wire,
     sessions: usize,
     bench_out: Option<&std::path::Path>,
+    stats: bool,
     shutdown: bool,
 ) -> Result<()> {
     let report = replay_sessions(addr, &scenario, wire, sessions)?;
@@ -153,6 +174,13 @@ fn cmd_replay(
         node_tx_s,
         out_dir.display()
     );
+
+    if stats {
+        println!("mosaic-node: STATS after replay (session 0 + server-wide):");
+        for line in &report.stats {
+            println!("  {line}");
+        }
+    }
 
     if let Some(bench_path) = bench_out {
         let offline_seconds = offline_baseline_seconds(&scenario)?;

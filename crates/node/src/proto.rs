@@ -23,6 +23,7 @@
 //! LOOKUP <account>                    SHARD <n>
 //! LOAD                                LOAD <n> ⏎ <n lines>
 //! CSV                                 CSV <n> ⏎ <n lines>
+//! STATS                               STATS <n> ⏎ <n lines>
 //! SHUTDOWN                            OK shutdown
 //! ```
 
@@ -62,6 +63,10 @@ pub enum Request {
     /// `CSV` — the per-epoch metric rows produced so far, as CSV lines
     /// (header included), byte-identical to the offline runner's files.
     Csv,
+    /// `STATS` — this session's telemetry snapshot plus the server-wide
+    /// aggregate (all sessions, started and finished). Answered even
+    /// before `BEGIN`; with telemetry off the reply says so.
+    Stats,
     /// `SHUTDOWN` — acknowledge, then stop accepting connections.
     Shutdown,
 }
@@ -79,6 +84,7 @@ impl Request {
             Request::Lookup(account) => format!("LOOKUP {}", account.as_u64()),
             Request::Load => "LOAD".to_string(),
             Request::Csv => "CSV".to_string(),
+            Request::Stats => "STATS".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
     }
@@ -132,11 +138,12 @@ impl Request {
             "LOOKUP" => Request::Lookup(AccountId::new(field(&mut tokens, "account id")?)),
             "LOAD" => Request::Load,
             "CSV" => Request::Csv,
+            "STATS" => Request::Stats,
             "SHUTDOWN" => Request::Shutdown,
             other => {
                 return Err(format!(
                     "unknown request verb {other:?}; valid: BEGIN, TX, END, LOOKUP, LOAD, CSV, \
-                     SHUTDOWN"
+                     STATS, SHUTDOWN"
                 ))
             }
         };
@@ -182,6 +189,10 @@ pub enum Response {
     Load(Vec<String>),
     /// `CSV <n>` followed by `n` CSV lines (header first).
     Csv(Vec<String>),
+    /// `STATS <n>` followed by `n` telemetry lines (`telemetry on|off`,
+    /// then `session <id>` with its `counter`/`gauge`/`hist` lines,
+    /// then the `server …` aggregate).
+    Stats(Vec<String>),
 }
 
 impl Response {
@@ -200,6 +211,7 @@ impl Response {
             Response::Shard(shard) => writeln!(out, "SHARD {shard}"),
             Response::Load(lines) => write_block(out, "LOAD", lines),
             Response::Csv(lines) => write_block(out, "CSV", lines),
+            Response::Stats(lines) => write_block(out, "STATS", lines),
         }
     }
 
@@ -232,6 +244,9 @@ impl Response {
         }
         if let Some(raw) = line.strip_prefix("CSV ") {
             return Ok(Response::Csv(read_block(input, raw)?));
+        }
+        if let Some(raw) = line.strip_prefix("STATS ") {
+            return Ok(Response::Stats(read_block(input, raw)?));
         }
         Err(invalid(format!("unrecognised response line {line:?}")))
     }
@@ -383,6 +398,11 @@ mod tests {
             Response::Shard(11),
             Response::Load(vec!["epoch 4".to_string(), "shard 0 10 2".to_string()]),
             Response::Csv(vec!["a,b".to_string(), "1,2".to_string()]),
+            Response::Stats(vec![
+                "telemetry on".to_string(),
+                "session 3".to_string(),
+                "counter core.txs_ingested 12000".to_string(),
+            ]),
         ] {
             let mut bytes = Vec::new();
             response.write_to(&mut bytes).unwrap();

@@ -29,6 +29,10 @@ use crate::wire::Wire;
 /// frame, or one buffered run of `TX` lines, per batch).
 const CHUNK_BLOCKS: u64 = 256;
 
+/// What one connection's replay yields: its per-cell CSVs, the
+/// transaction count it streamed, and its closing `STATS` reply.
+type SessionRun = (Vec<CellReplay>, u64, Vec<String>);
+
 /// The node-side CSV of one replayed cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellReplay {
@@ -56,6 +60,10 @@ pub struct ReplayReport {
     pub wire: Wire,
     /// How many concurrent connections replayed the scenario.
     pub sessions: usize,
+    /// The node's `STATS` reply, fetched on session 0's connection
+    /// after its last cell (so its per-session counters cover the whole
+    /// stream it just sent).
+    pub stats: Vec<String>,
 }
 
 /// Replays every cell of `scenario` against the node at `addr` over one
@@ -68,13 +76,14 @@ pub struct ReplayReport {
 /// node-side `ERR` replies.
 pub fn replay(addr: &str, scenario: &Scenario, wire: Wire) -> Result<ReplayReport> {
     let start = Instant::now();
-    let (cells, txs) = replay_one(addr, scenario, wire)?;
+    let (cells, txs, stats) = replay_one(addr, scenario, wire)?;
     Ok(ReplayReport {
         cells,
         txs,
         seconds: start.elapsed().as_secs_f64(),
         wire,
         sessions: 1,
+        stats,
     })
 }
 
@@ -97,7 +106,7 @@ pub fn replay_sessions(
         return replay(addr, scenario, wire);
     }
     let start = Instant::now();
-    let runs: Vec<Result<(Vec<CellReplay>, u64)>> = std::thread::scope(|scope| {
+    let runs: Vec<Result<SessionRun>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..sessions)
             .map(|_| scope.spawn(move || replay_one(addr, scenario, wire)))
             .collect();
@@ -112,9 +121,13 @@ pub fn replay_sessions(
     let seconds = start.elapsed().as_secs_f64();
     let mut txs = 0u64;
     let mut reference: Option<Vec<CellReplay>> = None;
+    let mut stats = Vec::new();
     for (session, run) in runs.into_iter().enumerate() {
-        let (cells, sent) = run?;
+        let (cells, sent, session_stats) = run?;
         txs += sent;
+        if session == 0 {
+            stats = session_stats;
+        }
         match &reference {
             None => reference = Some(cells),
             Some(expected) if *expected == cells => {}
@@ -132,12 +145,14 @@ pub fn replay_sessions(
         seconds,
         wire,
         sessions,
+        stats,
     })
 }
 
-/// One connection's replay of every cell: the shared body of [`replay`]
-/// and [`replay_sessions`].
-fn replay_one(addr: &str, scenario: &Scenario, wire: Wire) -> Result<(Vec<CellReplay>, u64)> {
+/// One connection's replay of every cell, closed by a `STATS` fetch on
+/// the same connection: the shared body of [`replay`] and
+/// [`replay_sessions`].
+fn replay_one(addr: &str, scenario: &Scenario, wire: Wire) -> Result<SessionRun> {
     let cells = scenario.cells_for(RunTarget::Node)?;
     let single_point = scenario.is_single_point();
     let mut client = MosaicClient::connect(addr, wire)?;
@@ -161,7 +176,8 @@ fn replay_one(addr: &str, scenario: &Scenario, wire: Wire) -> Result<(Vec<CellRe
             csv: client.csv()?,
         });
     }
-    Ok((replayed, txs))
+    let stats = client.stats()?;
+    Ok((replayed, txs, stats))
 }
 
 /// Runs the same cells offline through [`Simulation::stream_cell`] and

@@ -38,6 +38,7 @@ use mosaic_types::{Error, Result};
 
 use crate::proto::{Request, Response};
 use crate::session::NodeSession;
+use crate::stats::ServerStats;
 use crate::wire::{self, Incoming, Negotiated, Wire};
 
 /// How many decoded requests may sit between a connection handler and
@@ -70,14 +71,18 @@ struct SessionRegistry {
     scenario: Scenario,
     next_id: AtomicU64,
     active: Mutex<HashMap<u64, mpsc::SyncSender<SessionMsg>>>,
+    /// The telemetry root shared by every session — per-session
+    /// recorders plus the server-wide aggregate behind `STATS`.
+    stats: Arc<ServerStats>,
 }
 
 impl SessionRegistry {
-    fn new(scenario: Scenario) -> Self {
+    fn new(scenario: Scenario, stats: Arc<ServerStats>) -> Self {
         SessionRegistry {
             scenario,
             next_id: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
+            stats,
         }
     }
 
@@ -88,11 +93,12 @@ impl SessionRegistry {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (queue, inbox) = mpsc::sync_channel::<SessionMsg>(SESSION_QUEUE);
         let scenario = self.scenario.clone();
+        let stats = Arc::clone(&self.stats);
         let thread = thread::Builder::new()
             .name(format!("mosaic-session-{id}"))
             .spawn(move || {
-                let mut session =
-                    NodeSession::new(scenario).expect("scenario pre-validated by serve");
+                let mut session = NodeSession::with_stats(scenario, id, &stats)
+                    .expect("scenario pre-validated by serve");
                 while let Ok(msg) = inbox.recv() {
                     match msg {
                         SessionMsg::Apply(request, reply) => {
@@ -133,24 +139,44 @@ impl SessionRegistry {
     }
 }
 
-/// Serves `scenario` on `listener` until a client sends `SHUTDOWN`.
-/// Every connection gets its own [`NodeSession`] and may speak either
-/// codec (negotiated from its first bytes).
+/// Serves `scenario` on `listener` until a client sends `SHUTDOWN`,
+/// with telemetry on. Every connection gets its own [`NodeSession`] and
+/// may speak either codec (negotiated from its first bytes).
 ///
 /// # Errors
 ///
 /// Returns scenario validation errors up front (before any client can
 /// connect) and [`Error::Io`] on listener failures.
 pub fn serve(listener: TcpListener, scenario: Scenario) -> Result<()> {
-    // Fail fast on an invalid spec — NodeSession::new re-validates, but
-    // only on a session thread, where the error could no longer be
-    // returned to the caller.
+    serve_with_telemetry(listener, scenario, true)
+}
+
+/// [`serve`] with an explicit telemetry switch (`mosaic-node serve
+/// --telemetry off`). When on, the server-wide recorder is installed as
+/// the process-wide default so worker-pool lane counters are captured;
+/// when off, every recorder is a no-op and `STATS` replies say so.
+///
+/// # Errors
+///
+/// Everything [`serve`] returns.
+pub fn serve_with_telemetry(
+    listener: TcpListener,
+    scenario: Scenario,
+    telemetry: bool,
+) -> Result<()> {
+    // Fail fast on an invalid spec — NodeSession::with_stats
+    // re-validates, but only on a session thread, where the error could
+    // no longer be returned to the caller.
     scenario.cells_for(RunTarget::Node)?;
     let addr = listener
         .local_addr()
         .map_err(|e| io_error("<listener>", &e))?;
     let stop = Arc::new(AtomicBool::new(false));
-    let registry = Arc::new(SessionRegistry::new(scenario));
+    let stats = ServerStats::new(telemetry);
+    if telemetry {
+        mosaic_telemetry::install_global(stats.recorder().clone());
+    }
+    let registry = Arc::new(SessionRegistry::new(scenario, stats));
 
     let mut handlers = Vec::new();
     for incoming in listener.incoming() {
@@ -314,7 +340,10 @@ mod tests {
 
     #[test]
     fn registry_spawns_and_reaps_isolated_sessions() {
-        let registry = SessionRegistry::new(Scenario::full_protocol(&Scale::quick()));
+        let registry = SessionRegistry::new(
+            Scenario::full_protocol(&Scale::quick()),
+            ServerStats::new(true),
+        );
         let a = registry.spawn().unwrap();
         let b = registry.spawn().unwrap();
         assert_ne!(a.id, b.id);

@@ -14,13 +14,17 @@
 //! the arrival order on that connection's channel and no locking is
 //! needed here.
 
+use std::sync::Arc;
+
 use mosaic_metrics::report::EPOCH_CSV_HEADER;
 use mosaic_metrics::EpochMetrics;
 use mosaic_sim::scenario::CellSpec;
 use mosaic_sim::{AllocationCore, EpochStrategy, LoadReport, RunTarget, Scenario};
+use mosaic_telemetry::Recorder;
 use mosaic_types::{Result, Transaction};
 
 use crate::proto::{Request, Response};
+use crate::stats::ServerStats;
 
 /// The run started by the last `BEGIN`.
 struct ActiveRun {
@@ -40,10 +44,18 @@ pub struct NodeSession {
     deferred: Option<String>,
     /// Scratch buffer for rows closed by one ingest call.
     rows: Vec<EpochMetrics>,
+    /// This session's id in the server's stats registry.
+    id: u64,
+    /// The session's private recorder; every core built at `BEGIN` is
+    /// rebound to it, so `core.*` counters accumulate per session.
+    recorder: Recorder,
+    /// The server-wide stats root answering the `STATS` aggregate.
+    server: Arc<ServerStats>,
 }
 
 impl NodeSession {
-    /// Builds a session over `scenario`, forced to the
+    /// Builds a standalone session over `scenario` (its own private
+    /// [`ServerStats`], telemetry on), forced to the
     /// [`RunTarget::Node`] target (so `collect`-observer specs are
     /// rejected) and expanded to its cell list.
     ///
@@ -51,12 +63,26 @@ impl NodeSession {
     ///
     /// Propagates [`Scenario::cells`] validation errors.
     pub fn new(scenario: Scenario) -> Result<Self> {
+        Self::with_stats(scenario, 0, &ServerStats::new(true))
+    }
+
+    /// Builds session `id` registered against `stats` — the server's
+    /// constructor. The session registers itself here and deregisters
+    /// (folding its counters into the server aggregate) on drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Scenario::cells`] validation errors.
+    pub fn with_stats(scenario: Scenario, id: u64, stats: &Arc<ServerStats>) -> Result<Self> {
         let cells = scenario.cells_for(RunTarget::Node)?;
         Ok(NodeSession {
             cells,
             active: None,
             deferred: None,
             rows: Vec::new(),
+            id,
+            recorder: stats.register(id),
+            server: Arc::clone(stats),
         })
     }
 
@@ -119,6 +145,9 @@ impl NodeSession {
                 Some(run) => Response::Csv(run.csv.lines().map(str::to_string).collect()),
                 None => Response::Error("no active run; send BEGIN first".to_string()),
             }),
+            Request::Stats => Some(Response::Stats(
+                self.server.stats_lines(Some((self.id, &self.recorder))),
+            )),
             Request::Shutdown => Some(Response::Ok("shutdown".to_string())),
         }
     }
@@ -132,6 +161,7 @@ impl NodeSession {
             ));
         };
         let mut core = AllocationCore::new(spec.config);
+        core.set_recorder(self.recorder.clone());
         let strategy = spec.config.strategy.build(spec.config.params);
         match core.begin(blocks) {
             Ok(()) => {
@@ -189,6 +219,12 @@ impl NodeSession {
         if self.deferred.is_none() {
             self.deferred = Some(message);
         }
+    }
+}
+
+impl Drop for NodeSession {
+    fn drop(&mut self) {
+        self.server.unregister(self.id);
     }
 }
 
@@ -271,6 +307,41 @@ mod tests {
             }),
             Some(Response::Ok(_))
         ));
+    }
+
+    #[test]
+    fn stats_answer_before_begin_and_count_ingested_txs() {
+        let mut s = session();
+        // STATS is session-scoped, not run-scoped: it answers before
+        // any BEGIN, with empty counters.
+        let Some(Response::Stats(lines)) = s.apply(Request::Stats) else {
+            panic!("STATS must answer before BEGIN");
+        };
+        assert_eq!(lines[0], "telemetry on");
+        assert!(lines.contains(&"session 0".to_string()), "{lines:?}");
+
+        assert!(matches!(
+            s.apply(Request::Begin {
+                cell: 0,
+                blocks: 2000
+            }),
+            Some(Response::Ok(_))
+        ));
+        for i in 0..5 {
+            assert!(s.apply_line(&format!("TX {i} 0 1 2 transfer")).is_none());
+        }
+        let Some(Response::Stats(lines)) = s.apply(Request::Stats) else {
+            panic!("STATS must answer mid-stream");
+        };
+        assert!(
+            lines.contains(&"counter core.txs_ingested 5".to_string()),
+            "{lines:?}"
+        );
+        // The server aggregate includes this (only) session.
+        assert!(
+            lines.contains(&"server counter core.txs_ingested 5".to_string()),
+            "{lines:?}"
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ const TAG_LOOKUP: u8 = 5;
 const TAG_LOAD: u8 = 6;
 const TAG_CSV: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
+const TAG_STATS: u8 = 9;
 
 // Response tags (node → client).
 const TAG_OK: u8 = 1;
@@ -63,6 +64,7 @@ const TAG_ERROR: u8 = 2;
 const TAG_SHARD: u8 = 3;
 const TAG_RESP_LOAD: u8 = 4;
 const TAG_RESP_CSV: u8 = 5;
+const TAG_RESP_STATS: u8 = 6;
 
 /// Which encoding a connection speaks. Copyable so both endpoints can
 /// thread it through their read/write paths.
@@ -161,6 +163,7 @@ impl Wire {
                     }
                     Request::Load => frame.push(TAG_LOAD),
                     Request::Csv => frame.push(TAG_CSV),
+                    Request::Stats => frame.push(TAG_STATS),
                     Request::Shutdown => frame.push(TAG_SHUTDOWN),
                 }
                 write_frame(out, &frame)
@@ -262,6 +265,10 @@ impl Wire {
                     }
                     Response::Csv(lines) => {
                         frame.push(TAG_RESP_CSV);
+                        put_lines(&mut frame, lines);
+                    }
+                    Response::Stats(lines) => {
+                        frame.push(TAG_RESP_STATS);
                         put_lines(&mut frame, lines);
                     }
                 }
@@ -430,6 +437,7 @@ fn decode_request(frame: &[u8]) -> io::Result<Incoming> {
             TAG_LOOKUP => Request::Lookup(AccountId::new(r.u64("account id")?)),
             TAG_LOAD => Request::Load,
             TAG_CSV => Request::Csv,
+            TAG_STATS => Request::Stats,
             TAG_SHUTDOWN => Request::Shutdown,
             other => return Err(format!("unknown request frame tag {other}")),
         };
@@ -454,7 +462,7 @@ fn decode_request(frame: &[u8]) -> io::Result<Incoming> {
 }
 
 fn known_request_tag(tag: u8) -> bool {
-    (TAG_BEGIN..=TAG_SHUTDOWN).contains(&tag)
+    (TAG_BEGIN..=TAG_STATS).contains(&tag)
 }
 
 fn decode_response(frame: &[u8]) -> io::Result<Response> {
@@ -466,6 +474,7 @@ fn decode_response(frame: &[u8]) -> io::Result<Response> {
         TAG_SHARD => Response::Shard(r.u16("shard index").map_err(invalid)?),
         TAG_RESP_LOAD => Response::Load(r.lines("LOAD").map_err(invalid)?),
         TAG_RESP_CSV => Response::Csv(r.lines("CSV").map_err(invalid)?),
+        TAG_RESP_STATS => Response::Stats(r.lines("STATS").map_err(invalid)?),
         other => return Err(invalid(format!("unknown response frame tag {other}"))),
     };
     if r.remaining() != 0 {
@@ -627,6 +636,7 @@ mod tests {
             Request::Lookup(AccountId::new(u64::MAX)),
             Request::Load,
             Request::Csv,
+            Request::Stats,
             Request::Shutdown,
         ] {
             let mut bytes = Vec::new();
@@ -648,6 +658,10 @@ mod tests {
             Response::Shard(u16::MAX),
             Response::Load(vec!["epoch 4".to_string(), "shard 0 10 2".to_string()]),
             Response::Csv(Vec::new()),
+            Response::Stats(vec![
+                "telemetry off".to_string(),
+                "server sessions_active 0".to_string(),
+            ]),
         ] {
             let mut bytes = Vec::new();
             Wire::Binary.write_response(&mut bytes, &response).unwrap();

@@ -64,6 +64,25 @@ fn concurrent_replays_are_byte_identical_to_the_offline_run() {
     assert_eq!(report.sessions, 3);
     let per_session = report.txs / 3;
     assert_eq!(report.txs, per_session * 3, "sessions sent unequal counts");
+
+    // Session 0's STATS (fetched on its own connection, concurrent with
+    // the other two) count exactly the transactions it streamed.
+    assert_eq!(report.stats[0], "telemetry on", "{:?}", report.stats);
+    assert!(
+        report
+            .stats
+            .contains(&format!("counter core.txs_ingested {per_session}")),
+        "session counters diverged from the stream: {:?}",
+        report.stats
+    );
+    assert!(
+        report
+            .stats
+            .iter()
+            .any(|l| l.starts_with("server counter core.txs_ingested ")),
+        "server aggregate missing: {:?}",
+        report.stats
+    );
     assert_eq!(report.cells.len(), offline.len());
     for (replayed, (stem, csv)) in report.cells.iter().zip(&offline) {
         assert_eq!(&replayed.stem, stem);
@@ -94,6 +113,62 @@ fn concurrent_replays_are_byte_identical_to_the_offline_run() {
         }
     }
 
+    stop(&addr, server);
+}
+
+#[test]
+fn stats_are_per_session_and_answered_on_both_codecs() {
+    let scenario = quick_scenario();
+    let (addr, server) = boot(&scenario);
+
+    let mut a = MosaicClient::connect(&addr, Wire::Binary).unwrap();
+    let mut b = MosaicClient::connect(&addr, Wire::Line).unwrap();
+    let tx = |i: u64| {
+        mosaic_types::Transaction::new(
+            mosaic_types::TxId::new(i),
+            mosaic_types::AccountId::new(i % 800),
+            mosaic_types::AccountId::new((i + 1) % 800),
+            mosaic_types::BlockHeight::new(i / 4),
+        )
+    };
+
+    a.begin(0, 2000).unwrap();
+    a.ingest_block(&(0..10).map(tx).collect::<Vec<_>>())
+        .unwrap();
+    b.begin(0, 2000).unwrap();
+    b.ingest_block(&(0..7).map(tx).collect::<Vec<_>>()).unwrap();
+
+    // Each connection sees its own count — 10 vs 7 — on its own codec.
+    // A STATS round-trip flushes and drains that connection's stream,
+    // so the server-wide merge grows deterministically: b's 7 are still
+    // buffered client-side when a asks, and folded in by the time b asks.
+    let a_stats = a.stats().unwrap();
+    assert!(
+        a_stats.contains(&"counter core.txs_ingested 10".to_string()),
+        "{a_stats:?}"
+    );
+    assert!(
+        a_stats.contains(&"server counter core.txs_ingested 10".to_string()),
+        "{a_stats:?}"
+    );
+    let b_stats = b.stats().unwrap();
+    assert!(
+        b_stats.contains(&"counter core.txs_ingested 7".to_string()),
+        "{b_stats:?}"
+    );
+    assert!(
+        b_stats.contains(&"server counter core.txs_ingested 17".to_string()),
+        "{b_stats:?}"
+    );
+    for stats in [&a_stats, &b_stats] {
+        assert!(
+            stats.contains(&"server sessions_active 2".to_string()),
+            "{stats:?}"
+        );
+    }
+
+    drop(b);
+    drop(a);
     stop(&addr, server);
 }
 

@@ -27,7 +27,7 @@ fn tx_from(a: u64, b: u64, c: u64, d: u64) -> Transaction {
 }
 
 fn request_from(kind: u8, a: u64, b: u64, c: u64, d: u64) -> Request {
-    match kind % 8 {
+    match kind % 9 {
         0 => Request::Begin {
             cell: (a % 1024) as usize,
             blocks: b.max(1),
@@ -38,6 +38,7 @@ fn request_from(kind: u8, a: u64, b: u64, c: u64, d: u64) -> Request {
         4 => Request::Load,
         5 => Request::Csv,
         6 => Request::TxBatch(vec![tx_from(a, b, c, d), tx_from(d, c, b, a)]),
+        7 => Request::Stats,
         _ => Request::Shutdown,
     }
 }
@@ -47,7 +48,7 @@ fn response_from(kind: u8, a: u64, b: u64, lines: &[u64]) -> Response {
         .iter()
         .map(|&v| format!("shard {} {} {}", v % 64, v, v.wrapping_mul(3)))
         .collect();
-    match kind % 5 {
+    match kind % 6 {
         0 => Response::Ok(if a.is_multiple_of(2) {
             String::new()
         } else {
@@ -56,7 +57,8 @@ fn response_from(kind: u8, a: u64, b: u64, lines: &[u64]) -> Response {
         1 => Response::Error(format!("block {a} arrived after block {b}")),
         2 => Response::Shard((a % u64::from(u16::MAX)) as u16),
         3 => Response::Load(rendered),
-        _ => Response::Csv(rendered),
+        4 => Response::Csv(rendered),
+        _ => Response::Stats(rendered),
     }
 }
 
@@ -81,7 +83,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
     #[test]
     fn requests_roundtrip_through_both_codecs(
-        kind in 0u8..8,
+        kind in 0u8..9,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in 0u64..u64::MAX,
@@ -138,7 +140,7 @@ proptest! {
 
     #[test]
     fn responses_roundtrip_through_both_codecs(
-        kind in 0u8..5,
+        kind in 0u8..6,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         lines in proptest::collection::vec(0u64..u64::MAX, 0..8),
@@ -154,5 +156,37 @@ proptest! {
             wire.write_response(&mut again, &back).unwrap();
             prop_assert_eq!(again, bytes);
         }
+    }
+}
+
+/// The server sniffs a connection's first byte to pick the codec: `M`
+/// means a `MOSB` binary hello, anything else is line mode. That only
+/// works while no request's line encoding starts with `M` — pinned
+/// here over every variant (including the new `STATS`, which starts
+/// with `S`, not `M`) so a future verb cannot silently break
+/// negotiation.
+#[test]
+fn no_request_line_collides_with_the_binary_hello() {
+    let every_variant = [
+        Request::Begin { cell: 0, blocks: 1 },
+        Request::Tx(tx_from(1, 2, 3, 4)),
+        Request::TxBatch(vec![tx_from(1, 2, 3, 4)]),
+        Request::End,
+        Request::Lookup(AccountId::new(5)),
+        Request::Load,
+        Request::Csv,
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    for request in every_variant {
+        let line = request.encode();
+        assert!(
+            !line.starts_with('M'),
+            "{line:?} would be sniffed as a binary hello"
+        );
+        assert!(
+            !line.starts_with("MOSB"),
+            "{line:?} collides with the MOSB magic"
+        );
     }
 }

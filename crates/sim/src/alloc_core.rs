@@ -42,6 +42,7 @@ use std::time::Duration;
 use mosaic_chain::Ledger;
 use mosaic_metrics::timing::DurationStats;
 use mosaic_metrics::{AggregateBuilder, EpochMetrics};
+use mosaic_telemetry::{Counter, Gauge, Recorder};
 use mosaic_types::{AccountId, Error, Result, ShardId, Transaction};
 
 use crate::engine::{EpochCtx, EpochStrategy, History, MigrationCount, RunSummary};
@@ -167,12 +168,50 @@ struct StreamState {
     recent: Vec<Transaction>,
 }
 
+/// Cached lock-free telemetry handles for the core's counters and
+/// gauges — looked up once per recorder so the per-transaction and
+/// per-epoch paths never touch the registry (one branch each when
+/// telemetry is off).
+#[derive(Debug)]
+struct CoreMetrics {
+    txs: Counter,
+    epochs: Counter,
+    committed: Counter,
+    stale: Counter,
+    miners_moved: Counter,
+    edges_merged: Counter,
+    cross_ratio: Gauge,
+    queue_depth: Gauge,
+}
+
+impl CoreMetrics {
+    fn bind(recorder: &Recorder) -> Self {
+        CoreMetrics {
+            txs: recorder.counter("core.txs_ingested"),
+            epochs: recorder.counter("core.epochs_processed"),
+            committed: recorder.counter("core.migrations_committed"),
+            stale: recorder.counter("core.migrations_aborted"),
+            miners_moved: recorder.counter("core.miners_moved"),
+            edges_merged: recorder.counter("core.edges_merged"),
+            cross_ratio: recorder.gauge("core.cross_shard_ratio"),
+            queue_depth: recorder.gauge("core.queue_depth"),
+        }
+    }
+}
+
 /// The incremental epoch-allocation state machine.
 ///
 /// Create with [`AllocationCore::new`], feed the training prefix, call
 /// [`AllocationCore::finish_training`], then process evaluation windows
 /// — either explicitly (batch primitives) or transaction-by-transaction
 /// (event API). See the [module docs](self) for the two layers.
+///
+/// The core captures the process-wide telemetry recorder at
+/// construction (see [`mosaic_telemetry::install_global`]) and emits
+/// per-epoch phase spans (`epoch.train` / `epoch.score` /
+/// `epoch.migrate` / `epoch.commit`) and `core.*` counters through it;
+/// a disabled recorder — the default — makes every emission a single
+/// branch, and nothing telemetry does feeds back into results.
 #[derive(Debug)]
 pub struct AllocationCore<'t> {
     config: ExperimentConfig,
@@ -186,12 +225,19 @@ pub struct AllocationCore<'t> {
     total_migrations: usize,
     last_epoch: Option<EpochSnapshot>,
     stream: Option<StreamState>,
+    recorder: Recorder,
+    metrics: CoreMetrics,
+    /// Training-graph edge total at the last merge telemetry observed
+    /// (to turn cumulative counts into per-merge deltas).
+    edges_seen: usize,
 }
 
 impl<'t> AllocationCore<'t> {
     /// A fresh core for one experiment cell. No allocation exists until
     /// [`AllocationCore::finish_training`] runs.
     pub fn new(config: ExperimentConfig) -> Self {
+        let recorder = mosaic_telemetry::global();
+        let metrics = CoreMetrics::bind(&recorder);
         AllocationCore {
             config,
             history: History::new(),
@@ -204,7 +250,23 @@ impl<'t> AllocationCore<'t> {
             total_migrations: 0,
             last_epoch: None,
             stream: None,
+            recorder,
+            metrics,
+            edges_seen: 0,
         }
+    }
+
+    /// Replaces the core's telemetry recorder (e.g. with a node
+    /// session's scoped clone) and rebinds the cached handles. Metrics
+    /// accumulated so far stay in the old registry.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.metrics = CoreMetrics::bind(&recorder);
+        self.recorder = recorder;
+    }
+
+    /// The telemetry recorder this core reports through.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The cell configuration this core runs.
@@ -231,8 +293,11 @@ impl<'t> AllocationCore<'t> {
     /// materialised driver): O(1) history append plus one
     /// [`EpochStrategy::observe_training`] call.
     pub fn ingest_training(&mut self, strategy: &mut dyn EpochStrategy, train: &'t [Transaction]) {
+        self.metrics.txs.add(train.len() as u64);
+        let span = self.recorder.span("epoch.train");
         self.history.extend(train);
         strategy.observe_training(train);
+        span.finish();
     }
 
     /// Ingests one owned training chunk (the streamed driver and the
@@ -244,6 +309,20 @@ impl<'t> AllocationCore<'t> {
         chunk: &[Transaction],
         fold: TrainingFold,
     ) {
+        self.metrics.txs.add(chunk.len() as u64);
+        self.fold_training_chunk(strategy, chunk, fold);
+    }
+
+    /// The fold itself, shared with the event API (whose transactions
+    /// were already counted one at a time by
+    /// [`AllocationCore::ingest_tx`]).
+    fn fold_training_chunk(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        chunk: &[Transaction],
+        fold: TrainingFold,
+    ) {
+        let span = self.recorder.span("epoch.train");
         strategy.observe_training(chunk);
         match fold {
             TrainingFold::Merge => {
@@ -253,11 +332,18 @@ impl<'t> AllocationCore<'t> {
                 // edges) stays bounded by one chunk instead of growing
                 // to the whole training prefix. The CSR content is
                 // independent of merge points.
-                let _ = self.history.graph();
+                let total = self.history.graph().edge_count();
+                if self.metrics.edges_merged.is_enabled() {
+                    self.metrics
+                        .edges_merged
+                        .add(total.saturating_sub(self.edges_seen) as u64);
+                    self.edges_seen = total;
+                }
             }
             TrainingFold::Defer => self.history.absorb(chunk),
             TrainingFold::Skip => self.history.record_unretained(chunk.len()),
         }
+        span.finish();
     }
 
     /// Runs the strategy's initial allocation on the ingested training
@@ -270,8 +356,10 @@ impl<'t> AllocationCore<'t> {
     /// Propagates [`Ledger::new`] construction errors (inconsistent
     /// shard/miner counts).
     pub fn finish_training(&mut self, strategy: &mut dyn EpochStrategy) -> Result<()> {
+        let span = self.recorder.span("epoch.train");
         let (initial_phi, init_time) =
             strategy.initial_allocation(&mut self.history, self.config.params.shards());
+        span.finish();
         self.init_time = init_time;
         let mut ledger = Ledger::new(
             self.config.params,
@@ -314,10 +402,24 @@ impl<'t> AllocationCore<'t> {
         window: &[Transaction],
         recent: &[Transaction],
     ) -> EpochMetrics {
+        self.metrics.txs.add(window.len() as u64);
+        self.process_epoch_inner(strategy, window, recent)
+    }
+
+    /// The protocol itself, shared with the event API (whose window
+    /// transactions were already counted by
+    /// [`AllocationCore::ingest_tx`]).
+    fn process_epoch_inner(
+        &mut self,
+        strategy: &mut dyn EpochStrategy,
+        window: &[Transaction],
+        recent: &[Transaction],
+    ) -> EpochMetrics {
         let ledger = self
             .ledger
             .as_mut()
             .expect("finish_training must run before epochs are processed");
+        let score_span = self.recorder.span("epoch.score");
         let decision = strategy.before_epoch(
             ledger,
             EpochCtx {
@@ -328,6 +430,7 @@ impl<'t> AllocationCore<'t> {
                 parallelism: self.config.cell_parallelism,
             },
         );
+        score_span.finish();
         if let Some(elapsed) = decision.alloc_time {
             self.alloc_stats.record(elapsed);
         }
@@ -336,10 +439,14 @@ impl<'t> AllocationCore<'t> {
             self.input_samples += 1;
         }
         if let Some(phi) = decision.new_phi {
+            let migrate_span = self.recorder.span("epoch.migrate");
             ledger.set_allocation(phi).expect("same shard count");
+            migrate_span.finish();
         }
 
+        let commit_span = self.recorder.span("epoch.commit");
         let outcome = ledger.process_epoch(window);
+        commit_span.finish();
         let migrations = match decision.migrations {
             MigrationCount::Moves(n) => n,
             MigrationCount::CommittedRequests => outcome.committed.len(),
@@ -347,6 +454,15 @@ impl<'t> AllocationCore<'t> {
         self.total_migrations += migrations;
         let metrics = EpochMetrics::from_load(&outcome.load, migrations);
         self.aggregate.push(&metrics);
+        self.metrics.epochs.incr();
+        self.metrics.committed.add(outcome.committed.len() as u64);
+        self.metrics
+            .stale
+            .add(outcome.reconfig.migrations_stale as u64);
+        self.metrics
+            .miners_moved
+            .add(outcome.reconfig.miners_moved as u64);
+        self.metrics.cross_ratio.set(metrics.cross_ratio);
         self.last_epoch = Some(EpochSnapshot {
             epoch: outcome.epoch.as_u64(),
             lambda: outcome.lambda,
@@ -523,6 +639,7 @@ impl<'t> AllocationCore<'t> {
             });
         }
         state.high_block = Some(block);
+        self.metrics.txs.incr();
         self.advance_to(strategy, block, rows)?;
         let state = self.stream.as_mut().expect("stream state present");
         if state.phase != Phase::Done {
@@ -628,7 +745,7 @@ impl<'t> AllocationCore<'t> {
                         TrainingFold::Merge
                     };
                     let chunk = std::mem::take(&mut state.buf);
-                    self.ingest_training_chunk(strategy, &chunk, fold);
+                    self.fold_training_chunk(strategy, &chunk, fold);
                     if closes_training {
                         self.finish_training(strategy)?;
                         self.release_history_if_unused(strategy);
@@ -663,7 +780,8 @@ impl<'t> AllocationCore<'t> {
         state: &mut StreamState,
         rows: &mut Vec<EpochMetrics>,
     ) {
-        let metrics = self.process_epoch(strategy, &state.buf, &state.recent);
+        self.metrics.queue_depth.set(state.buf.len() as f64);
+        let metrics = self.process_epoch_inner(strategy, &state.buf, &state.recent);
         rows.push(metrics);
         self.commit_window_owned(strategy, &state.buf);
         std::mem::swap(&mut state.recent, &mut state.buf);

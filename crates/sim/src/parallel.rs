@@ -13,6 +13,6 @@
 
 pub use mosaic_metrics::parallel::{
     chunked_scan_commit, chunked_scan_commit_slices, for_each_indexed_mut, map_indexed,
-    map_indexed_scratch, ordered_map, par_cutoff, scan_chunk_size, set_par_cutoff, Parallelism,
-    WorkerPool,
+    map_indexed_scratch, ordered_map, par_cutoff, scan_chunk_size, set_par_cutoff,
+    thread_pool_reset, thread_pool_workers, Parallelism, WorkerPool,
 };

@@ -256,13 +256,24 @@ pub enum ObserverSpec {
     /// computed (bounded memory — byte-identical to
     /// [`crate::runner::run_streaming`]).
     StreamCsv(PathBuf),
+    /// Install a process-wide telemetry recorder whose JSONL event
+    /// stream (phase spans, per-epoch events, the final metric
+    /// snapshot) is appended to `<path>`. Telemetry never perturbs the
+    /// result CSVs — they stay byte-identical to a run without this
+    /// observer.
+    Telemetry(PathBuf),
 }
+
+/// The observer forms a scenario's `observers = ...` line accepts,
+/// enumerated in every parse error.
+const OBSERVER_FORMS: &str = "collect, stream-csv:<dir>, telemetry=jsonl:<path>";
 
 impl ObserverSpec {
     fn to_token(&self) -> String {
         match self {
             ObserverSpec::Collect => "collect".to_string(),
             ObserverSpec::StreamCsv(dir) => format!("stream-csv:{}", dir.display()),
+            ObserverSpec::Telemetry(path) => format!("telemetry=jsonl:{}", path.display()),
         }
     }
 
@@ -272,13 +283,45 @@ impl ObserverSpec {
         }
         if let Some(dir) = token.strip_prefix("stream-csv:") {
             if dir.is_empty() {
-                return Err(parse_error(line, "stream-csv observer needs a directory"));
+                return Err(parse_error(
+                    line,
+                    format!(
+                        "stream-csv observer needs a directory; valid observers: {OBSERVER_FORMS}"
+                    ),
+                ));
             }
             return Ok(ObserverSpec::StreamCsv(PathBuf::from(dir)));
         }
+        if let Some(rest) = token.strip_prefix("telemetry") {
+            let Some(spec) = rest.trim_start().strip_prefix('=') else {
+                return Err(parse_error(
+                    line,
+                    format!(
+                        "telemetry observer must be written telemetry=jsonl:<path>; \
+                         valid observers: {OBSERVER_FORMS}"
+                    ),
+                ));
+            };
+            let Some(path) = spec.trim_start().strip_prefix("jsonl:") else {
+                return Err(parse_error(
+                    line,
+                    format!(
+                        "telemetry observer only supports the jsonl:<path> sink; \
+                         valid observers: {OBSERVER_FORMS}"
+                    ),
+                ));
+            };
+            if path.is_empty() {
+                return Err(parse_error(
+                    line,
+                    format!("telemetry=jsonl observer needs a file path; valid observers: {OBSERVER_FORMS}"),
+                ));
+            }
+            return Ok(ObserverSpec::Telemetry(PathBuf::from(path)));
+        }
         Err(parse_error(
             line,
-            format!("unknown observer {token:?}; valid: collect, stream-csv:<dir>"),
+            format!("unknown observer {token:?}; valid observers: {OBSERVER_FORMS}"),
         ))
     }
 }
@@ -1205,9 +1248,37 @@ mod tests {
             .with_observers([
                 ObserverSpec::Collect,
                 ObserverSpec::StreamCsv(PathBuf::from("out/csv")),
+                ObserverSpec::Telemetry(PathBuf::from("telemetry/run.jsonl")),
             ]);
         let back = Scenario::parse(&scenario.to_text()).unwrap();
         assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn observer_parse_errors_enumerate_the_valid_forms() {
+        let base = "name = x\ntrace = generated\neval_epochs = 1\n";
+        for (value, expect) in [
+            ("dump", "unknown observer"),
+            ("stream-csv:", "stream-csv observer needs a directory"),
+            ("telemetry", "telemetry=jsonl:<path>"),
+            ("telemetry = csv:out", "jsonl:<path> sink"),
+            ("telemetry=jsonl:", "needs a file path"),
+        ] {
+            let err = Scenario::parse(&format!("{base}observers = {value}\n")).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(expect), "{value}: {msg}");
+            // Every observer error teaches the full set of valid forms.
+            assert!(msg.contains(OBSERVER_FORMS), "{value}: {msg}");
+            assert!(msg.contains("line 4"), "{value}: {msg}");
+        }
+        // The telemetry token survives spaces around its '=' (the same
+        // tolerance the top-level keys get).
+        let ok =
+            Scenario::parse(&format!("{base}observers = telemetry = jsonl:t.jsonl\n")).unwrap();
+        assert_eq!(
+            ok.observers,
+            vec![ObserverSpec::Telemetry(PathBuf::from("t.jsonl"))]
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use mosaic_metrics::{EpochCsvWriter, EpochMetrics};
+use mosaic_telemetry::{json_f64, Recorder};
 use mosaic_types::{Error, Result};
 use mosaic_workload::TransactionTrace;
 
@@ -283,15 +284,47 @@ impl Simulation {
                 fs::create_dir_all(dir).map_err(|e| io_error(dir.display(), &e))?;
             }
         }
+        let telemetry = self.install_telemetry()?;
         let outcomes = ordered_map(&self.cells, self.scenario.grid_parallelism, |cell| {
             let mut strategy = factory(cell);
             self.run_cell(cell, strategy.as_mut())
         });
+        if let Some(recorder) = telemetry {
+            // Close the event stream with the final metric snapshot and
+            // hand the process-wide default back to the no-op recorder.
+            recorder.export_snapshot();
+            recorder.flush();
+            mosaic_telemetry::install_global(Recorder::disabled());
+        }
         let mut cells = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             cells.push(outcome?);
         }
         Ok(SimulationReport { cells })
+    }
+
+    /// Installs the process-wide telemetry recorder for a
+    /// `telemetry=jsonl:<path>` observer, if the scenario carries one.
+    /// Worker pools capture the recorder when they spawn, so the
+    /// calling thread's persistent pools are reset here; cores capture
+    /// it at construction inside the engine loops.
+    fn install_telemetry(&self) -> Result<Option<Recorder>> {
+        let Some(path) = self.scenario.observers.iter().find_map(|o| match o {
+            ObserverSpec::Telemetry(path) => Some(path),
+            _ => None,
+        }) else {
+            return Ok(None);
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|e| io_error(parent.display(), &e))?;
+            }
+        }
+        let file = fs::File::create(path).map_err(|e| io_error(path.display(), &e))?;
+        let recorder = Recorder::with_sink(Box::new(io::BufWriter::new(file)));
+        mosaic_telemetry::install_global(recorder.clone());
+        crate::parallel::thread_pool_reset();
+        Ok(Some(recorder))
     }
 
     /// Streams one cell's per-epoch CSV rows to `out`, byte-identical
@@ -335,6 +368,10 @@ impl Simulation {
 
         let mut per_epoch = Vec::new();
         let mut io_failure: Option<Error> = None;
+        // Scoped per cell so concurrent cells' epoch events stay
+        // distinguishable in the shared JSONL stream (disabled — one
+        // branch per epoch — unless a telemetry observer is installed).
+        let recorder = mosaic_telemetry::global().scoped(&cell.file_stem(single_point));
         let mut on_epoch = |epoch: usize, metrics: &EpochMetrics| {
             if collect {
                 per_epoch.push(*metrics);
@@ -345,6 +382,16 @@ impl Simulation {
                     return false;
                 }
             }
+            recorder.emit(
+                "epoch",
+                &[
+                    ("epoch", epoch.to_string()),
+                    ("cross_ratio", json_f64(metrics.cross_ratio)),
+                    ("workload_deviation", json_f64(metrics.workload_deviation)),
+                    ("txs", metrics.total_txs.to_string()),
+                    ("migrations", metrics.migrations.to_string()),
+                ],
+            );
             self.observers
                 .iter()
                 .all(|obs| obs.on_epoch(cell, epoch, metrics))
@@ -578,6 +625,51 @@ mod tests {
         for cell in &report.cells {
             assert_eq!(cell.result.per_epoch.len(), 2, "{}", cell.param_label);
         }
+    }
+
+    #[test]
+    fn telemetry_observer_writes_jsonl_without_perturbing_results() {
+        let base = std::env::temp_dir().join("mosaic-session-telemetry");
+        let off_dir = base.join("off");
+        let on_dir = base.join("on");
+        let jsonl = base.join("events.jsonl");
+
+        let off = quick_scenario().with_observers([ObserverSpec::StreamCsv(off_dir.clone())]);
+        Simulation::from_scenario(off).unwrap().run().unwrap();
+
+        let on = quick_scenario().with_observers([
+            ObserverSpec::StreamCsv(on_dir.clone()),
+            ObserverSpec::Telemetry(jsonl.clone()),
+        ]);
+        let sim = Simulation::from_scenario(on).unwrap();
+        sim.run().unwrap();
+        // The run hands the global back to the no-op recorder.
+        assert!(!mosaic_telemetry::global().is_enabled());
+
+        // Result CSVs are byte-identical with telemetry on vs off.
+        for cell in sim.cells() {
+            let name = format!("{}.csv", cell.file_stem(sim.scenario().is_single_point()));
+            assert_eq!(
+                fs::read(off_dir.join(&name)).unwrap(),
+                fs::read(on_dir.join(&name)).unwrap(),
+                "{name}"
+            );
+        }
+
+        // The event stream is valid JSONL and carries spans, epoch
+        // events and the closing snapshot.
+        let events = fs::read_to_string(&jsonl).unwrap();
+        assert!(!events.is_empty());
+        for line in events.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not a JSON object line: {line}"
+            );
+        }
+        assert!(events.contains("\"kind\":\"span\""));
+        assert!(events.contains("\"kind\":\"epoch\""));
+        assert!(events.contains("\"name\":\"core.epochs_processed\""));
+        fs::remove_dir_all(&base).ok();
     }
 
     #[test]

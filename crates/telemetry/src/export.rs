@@ -1,0 +1,335 @@
+//! Metric snapshots and the two export formats.
+//!
+//! A [`Snapshot`] is a point-in-time copy of a [`crate::Recorder`]'s
+//! registry — counters, gauges and histogram summaries, sorted by name
+//! — and renders to either export surface:
+//!
+//! * [`Snapshot::jsonl`] — one self-describing JSON object per line,
+//!   appendable to the same event stream span events flow into;
+//! * [`Snapshot::prometheus`] — the Prometheus text exposition format
+//!   (`# TYPE` headers, cumulative `_bucket{le="…"}` series), which is
+//!   also what the `mosaic-node` `STATS` verb serves.
+//!
+//! Snapshots [`merge`](Snapshot::merge), which is how a node folds its
+//! per-session registries into one server-wide view.
+
+use crate::stats::{BUCKETS, BUCKET_BOUNDS_NS};
+
+/// Point-in-time summary of one shared histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest observation in nanoseconds, if any.
+    pub min_ns: Option<u64>,
+    /// Largest observation in nanoseconds, if any.
+    pub max_ns: Option<u64>,
+    /// Per-bucket counts (not cumulative), one per
+    /// [`BUCKET_BOUNDS_NS`] bound plus the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            total_ns: 0,
+            min_ns: None,
+            max_ns: None,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` (counts and buckets sum, min/max
+    /// widen).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = match (self.min_ns, other.min_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_ns = match (self.max_ns, other.max_ns) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Mean observation in seconds, zero if empty.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / 1e9 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Last-written gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// `true` if no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters and histograms with the same
+    /// name sum, gauges take `other`'s value (last writer wins), and
+    /// names only one side knows are appended. Output stays sorted.
+    pub fn merge(&mut self, other: &Snapshot) {
+        merge_by_name(&mut self.counters, &other.counters, |a, b| *a += *b);
+        merge_by_name(&mut self.gauges, &other.gauges, |a, b| *a = *b);
+        merge_by_name(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+    }
+
+    /// Renders every metric as one self-describing JSON object per line
+    /// (`kind` = `counter` / `gauge` / `histogram`), ready to append to
+    /// a JSONL event stream.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+                json_escape(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                json_escape(name),
+                json_f64(*value)
+            ));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\
+                 \"min_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}\n",
+                json_escape(name),
+                hist.count,
+                hist.total_ns,
+                hist.min_ns.map_or("null".to_string(), |v| v.to_string()),
+                hist.max_ns.map_or("null".to_string(), |v| v.to_string()),
+                hist.buckets
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+        }
+        out
+    }
+
+    /// Renders the Prometheus text exposition format, one line per
+    /// entry of [`Snapshot::prometheus_lines`].
+    pub fn prometheus(&self) -> String {
+        let mut out = self.prometheus_lines().join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The Prometheus text exposition lines: `# TYPE` headers, plain
+    /// samples for counters/gauges, cumulative `_bucket{le="…"}` +
+    /// `_sum` + `_count` series (in seconds) for histograms. Metric
+    /// names are sanitised to `[a-zA-Z0-9_:]`.
+    pub fn prometheus_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, value) in &self.counters {
+            let name = prometheus_name(name);
+            lines.push(format!("# TYPE {name} counter"));
+            lines.push(format!("{name} {value}"));
+        }
+        for (name, value) in &self.gauges {
+            let name = prometheus_name(name);
+            lines.push(format!("# TYPE {name} gauge"));
+            lines.push(format!("{name} {value}"));
+        }
+        for (name, hist) in &self.histograms {
+            let name = format!("{}_seconds", prometheus_name(name));
+            lines.push(format!("# TYPE {name} histogram"));
+            let mut cumulative = 0u64;
+            for (bucket, &bound_ns) in hist.buckets.iter().zip(&BUCKET_BOUNDS_NS) {
+                cumulative += bucket;
+                lines.push(format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bound_ns as f64 / 1e9
+                ));
+            }
+            lines.push(format!("{name}_bucket{{le=\"+Inf\"}} {}", hist.count));
+            lines.push(format!("{name}_sum {}", hist.total_ns as f64 / 1e9));
+            lines.push(format!("{name}_count {}", hist.count));
+        }
+        lines
+    }
+}
+
+/// Folds sorted `(name, value)` pairs from `other` into `mine`,
+/// combining values on name collisions and keeping the result sorted.
+fn merge_by_name<T: Clone>(
+    mine: &mut Vec<(String, T)>,
+    other: &[(String, T)],
+    combine: impl Fn(&mut T, &T),
+) {
+    for (name, value) in other {
+        match mine.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => combine(&mut mine[i].1, value),
+            Err(i) => mine.insert(i, (name.clone(), value.clone())),
+        }
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value (`null` for non-finite inputs,
+/// which JSON cannot carry). Useful for building [`crate::Recorder::emit`]
+/// field values.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(count: u64, total_ns: u64, bucket: usize) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot {
+            count,
+            total_ns,
+            min_ns: Some(total_ns / count.max(1)),
+            max_ns: Some(total_ns),
+            ..HistogramSnapshot::default()
+        };
+        h.buckets[bucket] = count;
+        h
+    }
+
+    #[test]
+    fn merge_sums_counters_and_widens_histograms() {
+        let mut a = Snapshot {
+            counters: vec![("txs".into(), 3)],
+            gauges: vec![("depth".into(), 1.0)],
+            histograms: vec![("epoch".into(), hist(2, 2_000, 0))],
+        };
+        let b = Snapshot {
+            counters: vec![("epochs".into(), 1), ("txs".into(), 4)],
+            gauges: vec![("depth".into(), 5.0)],
+            histograms: vec![("epoch".into(), hist(1, 9_000_000, 3))],
+        };
+        a.merge(&b);
+        assert_eq!(a.counters, vec![("epochs".into(), 1), ("txs".into(), 7)]);
+        assert_eq!(a.gauges, vec![("depth".into(), 5.0)]);
+        let (_, h) = &a.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.total_ns, 9_002_000);
+        assert_eq!(h.min_ns, Some(1_000));
+        assert_eq!(h.max_ns, Some(9_000_000));
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[3], 1);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let snap = Snapshot {
+            counters: vec![("core.txs".into(), 7)],
+            gauges: Vec::new(),
+            histograms: vec![("epoch.score".into(), hist(3, 3_000, 0))],
+        };
+        let text = snap.prometheus();
+        assert!(text.contains("# TYPE core_txs counter"), "{text}");
+        assert!(text.contains("core_txs 7"), "{text}");
+        assert!(
+            text.contains("epoch_score_seconds_bucket{le=\"0.000001\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("epoch_score_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("epoch_score_seconds_count 3"), "{text}");
+        // Every bucket line after the first carries the running total.
+        let last_bound = format!(
+            "epoch_score_seconds_bucket{{le=\"{}\"}} 3",
+            *BUCKET_BOUNDS_NS.last().unwrap() as f64 / 1e9
+        );
+        assert!(text.contains(&last_bound), "{text}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_describing() {
+        let snap = Snapshot {
+            counters: vec![("txs".into(), 1)],
+            gauges: vec![("ratio".into(), 0.25)],
+            histograms: vec![("epoch".into(), HistogramSnapshot::default())],
+        };
+        let jsonl = snap.jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"txs\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"gauge\",\"name\":\"ratio\",\"value\":0.25}"
+        );
+        assert!(lines[2].starts_with("{\"kind\":\"histogram\",\"name\":\"epoch\""));
+        assert!(lines[2].contains("\"min_ns\":null"));
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

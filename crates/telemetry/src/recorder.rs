@@ -1,0 +1,655 @@
+//! The [`Recorder`] handle and its shared registry.
+//!
+//! A `Recorder` is either *disabled* — every handle it vends is a
+//! no-op and the hot path pays exactly one branch — or *enabled*,
+//! backed by a shared [`Registry`] of atomically-updated counters,
+//! gauges and histograms plus an optional JSONL event sink. Handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) are looked up once (cold,
+//! takes a lock) and then updated lock-free with relaxed atomics, so
+//! instrumented hot loops cache the handle and never touch the
+//! registry again.
+//!
+//! [`Span`] times a region and records the duration into a histogram
+//! on drop, emitting a JSONL event when a sink is attached. Timestamps
+//! are monotonic (microseconds since the registry was created) — wall
+//! clocks never enter the event stream, so replays stay reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::export::{json_escape, HistogramSnapshot, Snapshot};
+use crate::stats::{bucket_index, BUCKETS};
+
+/// Lock-free histogram shared between a [`Histogram`] handle and the
+/// registry it was registered in.
+struct AtomicHistogram {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min_ns.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: (count > 0).then_some(min),
+            max_ns: (count > 0).then(|| self.max_ns.load(Ordering::Relaxed)),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// The shared state behind an enabled [`Recorder`]: named metric
+/// tables plus the optional JSONL event sink.
+struct Registry {
+    started: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<AtomicHistogram>>>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl Registry {
+    fn new(sink: Option<Box<dyn Write + Send>>) -> Self {
+        Registry {
+            started: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// Appends one JSON object line to the sink, best-effort: sink
+    /// errors are swallowed so observability can never fail the run.
+    fn emit_line(&self, line: &str) {
+        if let Ok(mut guard) = self.sink.lock() {
+            if let Some(sink) = guard.as_mut() {
+                let _ = sink.write_all(line.as_bytes());
+                let _ = sink.write_all(b"\n");
+            }
+        }
+    }
+}
+
+/// The instrumentation handle everything else carries.
+///
+/// Cloning is cheap (an `Option<Arc>` bump); clones share the same
+/// registry. The default is [`Recorder::disabled`], whose handles all
+/// compile down to a single `None` check.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    registry: Option<Arc<Registry>>,
+    scope: Option<Arc<str>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.registry.is_some())
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every vended handle is inert, the hot path
+    /// pays one branch. This is the default everywhere.
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    /// An enabled recorder with a fresh registry and no event sink
+    /// (metrics accumulate, snapshots work, spans record but emit
+    /// nothing).
+    pub fn enabled() -> Recorder {
+        Recorder {
+            registry: Some(Arc::new(Registry::new(None))),
+            scope: None,
+        }
+    }
+
+    /// An enabled recorder whose span and epoch events are appended to
+    /// `sink` as JSONL, one object per line.
+    pub fn with_sink(sink: Box<dyn Write + Send>) -> Recorder {
+        Recorder {
+            registry: Some(Arc::new(Registry::new(Some(sink)))),
+            scope: None,
+        }
+    }
+
+    /// `true` unless this is the no-op recorder.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// A clone that shares the registry but labels its span events and
+    /// metric names with `scope` (e.g. a node session id). Metric
+    /// names become `<scope>.<name>`.
+    pub fn scoped(&self, scope: &str) -> Recorder {
+        Recorder {
+            registry: self.registry.clone(),
+            scope: Some(Arc::from(scope)),
+        }
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        match &self.scope {
+            Some(scope) => format!("{scope}.{name}"),
+            None => name.to_string(),
+        }
+    }
+
+    /// Looks up (or registers) the counter `name` and returns a
+    /// lock-free handle to it. Cold; cache the handle in hot loops.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.registry.as_ref().map(|registry| {
+            Arc::clone(
+                registry
+                    .counters
+                    .lock()
+                    .unwrap()
+                    .entry(self.full_name(name))
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Looks up (or registers) the gauge `name` and returns a
+    /// lock-free handle to it.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.registry.as_ref().map(|registry| {
+            Arc::clone(
+                registry
+                    .gauges
+                    .lock()
+                    .unwrap()
+                    .entry(self.full_name(name))
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Looks up (or registers) the duration histogram `name` and
+    /// returns a lock-free handle to it.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.histogram_inner(name))
+    }
+
+    fn histogram_inner(&self, name: &str) -> Option<Arc<AtomicHistogram>> {
+        self.registry.as_ref().map(|registry| {
+            Arc::clone(
+                registry
+                    .histograms
+                    .lock()
+                    .unwrap()
+                    .entry(self.full_name(name))
+                    .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+            )
+        })
+    }
+
+    /// One-shot counter increment (cold path; prefer a cached
+    /// [`Counter`] in loops).
+    pub fn add(&self, name: &str, delta: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(delta);
+        }
+    }
+
+    /// One-shot gauge write (cold path; prefer a cached [`Gauge`]).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if self.is_enabled() {
+            self.gauge(name).set(value);
+        }
+    }
+
+    /// One-shot histogram observation (cold path; prefer a cached
+    /// [`Histogram`]).
+    pub fn record(&self, name: &str, d: Duration) {
+        if self.is_enabled() {
+            self.histogram(name).record(d);
+        }
+    }
+
+    /// Starts timing a named region; the duration is recorded into the
+    /// histogram `name` when the returned [`Span`] drops (or
+    /// [`Span::finish`]es), and a `{"kind":"span",...}` line is
+    /// appended to the sink if one is attached.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            inner: self.registry.as_ref().map(|registry| SpanInner {
+                registry: Arc::clone(registry),
+                scope: self.scope.clone(),
+                name: name.to_string(),
+                hist: self.histogram_inner(name).expect("registry present"),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Appends a custom `{"kind":<kind>,...}` JSONL event built from
+    /// pre-rendered `fields` (`name:json_value` pairs). No-op when
+    /// disabled or when no sink is attached.
+    pub fn emit(&self, kind: &str, fields: &[(&str, String)]) {
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        let mut line = format!(
+            "{{\"kind\":\"{}\",\"ts_us\":{}",
+            json_escape(kind),
+            registry.started.elapsed().as_micros()
+        );
+        if let Some(scope) = &self.scope {
+            line.push_str(&format!(",\"scope\":\"{}\"", json_escape(scope)));
+        }
+        for (name, value) in fields {
+            line.push_str(&format!(",\"{}\":{}", json_escape(name), value));
+        }
+        line.push('}');
+        registry.emit_line(&line);
+    }
+
+    /// A sorted point-in-time copy of every registered metric. Empty
+    /// when disabled.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(registry) = &self.registry else {
+            return Snapshot::default();
+        };
+        Snapshot {
+            counters: registry
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, value)| (name.clone(), value.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: registry
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, value)| (name.clone(), f64::from_bits(value.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: registry
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, hist)| (name.clone(), hist.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Appends the current [`Snapshot`] to the sink as JSONL metric
+    /// lines — the natural way to close out an event stream.
+    pub fn export_snapshot(&self) {
+        if let Some(registry) = &self.registry {
+            let jsonl = self.snapshot().jsonl();
+            for line in jsonl.lines() {
+                registry.emit_line(line);
+            }
+        }
+    }
+
+    /// Flushes the sink, if any.
+    pub fn flush(&self) {
+        if let Some(registry) = &self.registry {
+            if let Ok(mut guard) = registry.sink.lock() {
+                if let Some(sink) = guard.as_mut() {
+                    let _ = sink.flush();
+                }
+            }
+        }
+    }
+}
+
+/// Lock-free handle to one monotonic counter (inert when vended by a
+/// disabled recorder).
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+impl Counter {
+    /// An inert handle, equal to what [`Recorder::disabled`] vends.
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// `true` when updates actually land in a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `delta`; one relaxed `fetch_add` when enabled, one branch
+    /// when not.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (zero when disabled).
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free handle to one gauge — a last-writer-wins `f64` stored as
+/// its bit pattern.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+impl Gauge {
+    /// An inert handle.
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// `true` when updates actually land in a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Overwrites the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero when disabled).
+    pub fn value(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// Lock-free handle to one shared duration histogram.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<AtomicHistogram>>);
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Histogram")
+            .field(&self.snapshot().count)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An inert handle.
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// `true` when observations actually land in a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        if let Some(hist) = &self.0 {
+            hist.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Point-in-time summary (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |hist| hist.snapshot())
+    }
+}
+
+struct SpanInner {
+    registry: Arc<Registry>,
+    scope: Option<Arc<str>>,
+    name: String,
+    hist: Arc<AtomicHistogram>,
+    start: Instant,
+}
+
+/// A timed region: records its duration into the histogram it was
+/// opened against when dropped, and appends a
+/// `{"kind":"span","ts_us":…,"name":…,"us":…}` line to the sink if
+/// one is attached. Inert when opened on a disabled recorder.
+#[must_use = "a span measures the region it is alive for"]
+#[derive(Default)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.inner.as_ref().map(|i| i.name.as_str()))
+            .finish()
+    }
+}
+
+impl Span {
+    /// An inert span, equal to what [`Recorder::disabled`] vends.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Ends the span now (otherwise it ends when dropped).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let elapsed = inner.start.elapsed();
+        inner
+            .hist
+            .record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        let ts_us = inner
+            .registry
+            .started
+            .elapsed()
+            .as_micros()
+            .saturating_sub(elapsed.as_micros());
+        let mut line = format!("{{\"kind\":\"span\",\"ts_us\":{ts_us}");
+        if let Some(scope) = &inner.scope {
+            line.push_str(&format!(",\"scope\":\"{}\"", json_escape(scope)));
+        }
+        line.push_str(&format!(
+            ",\"name\":\"{}\",\"us\":{}}}",
+            json_escape(&inner.name),
+            elapsed.as_micros()
+        ));
+        inner.registry.emit_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A `Write` sink that forwards each chunk to an mpsc channel so
+    /// tests can inspect what was emitted.
+    struct ChannelSink(mpsc::Sender<Vec<u8>>);
+
+    impl Write for ChannelSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let _ = self.0.send(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x");
+        c.incr();
+        assert_eq!(c.value(), 0);
+        r.record("h", Duration::from_millis(1));
+        r.span("s").finish();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let r = Recorder::enabled();
+        let c = r.counter("core.txs");
+        c.add(3);
+        c.incr();
+        r.gauge("core.ratio").set(0.5);
+        r.record("epoch.commit", Duration::from_micros(500));
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("core.txs".to_string(), 4)]);
+        assert_eq!(snap.gauges, vec![("core.ratio".to_string(), 0.5)]);
+        let (name, hist) = &snap.histograms[0];
+        assert_eq!(name, "epoch.commit");
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.min_ns, Some(500_000));
+    }
+
+    #[test]
+    fn clones_share_the_registry_and_scopes_prefix_names() {
+        let r = Recorder::enabled();
+        let scoped = r.scoped("s1");
+        scoped.counter("txs").add(7);
+        r.counter("txs").add(1);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("s1.txs".to_string(), 7), ("txs".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn spans_record_into_histograms_and_emit_jsonl() {
+        let (tx, rx) = mpsc::channel();
+        let r = Recorder::with_sink(Box::new(ChannelSink(tx)));
+        r.span("epoch.score").finish();
+        let h = r.histogram("epoch.score");
+        assert_eq!(h.snapshot().count, 1);
+        let emitted: String = rx
+            .try_iter()
+            .map(|chunk| String::from_utf8_lossy(&chunk).into_owned())
+            .collect();
+        assert!(emitted.contains("\"kind\":\"span\""), "{emitted}");
+        assert!(emitted.contains("\"name\":\"epoch.score\""), "{emitted}");
+        assert!(emitted.contains("\"us\":"), "{emitted}");
+        assert!(emitted.ends_with('\n'), "{emitted:?}");
+    }
+
+    #[test]
+    fn emit_renders_scope_and_fields() {
+        let (tx, rx) = mpsc::channel();
+        let r = Recorder::with_sink(Box::new(ChannelSink(tx))).scoped("cell0");
+        r.emit(
+            "epoch",
+            &[("epoch", "3".to_string()), ("cross", "0.25".to_string())],
+        );
+        let emitted: String = rx
+            .try_iter()
+            .map(|chunk| String::from_utf8_lossy(&chunk).into_owned())
+            .collect();
+        assert!(emitted.contains("\"kind\":\"epoch\""), "{emitted}");
+        assert!(emitted.contains("\"scope\":\"cell0\""), "{emitted}");
+        assert!(emitted.contains("\"epoch\":3"), "{emitted}");
+        assert!(emitted.contains("\"cross\":0.25"), "{emitted}");
+    }
+
+    #[test]
+    fn export_snapshot_appends_metric_lines() {
+        let (tx, rx) = mpsc::channel();
+        let r = Recorder::with_sink(Box::new(ChannelSink(tx)));
+        r.counter("done").incr();
+        r.export_snapshot();
+        let emitted: String = rx
+            .try_iter()
+            .map(|chunk| String::from_utf8_lossy(&chunk).into_owned())
+            .collect();
+        assert!(
+            emitted.contains("{\"kind\":\"counter\",\"name\":\"done\",\"value\":1}"),
+            "{emitted}"
+        );
+    }
+
+    #[test]
+    fn handles_are_lock_free_across_threads() {
+        let r = Recorder::enabled();
+        let c = r.counter("shared");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 4000);
+    }
+}

@@ -1,0 +1,183 @@
+//! Plain (single-owner) duration accumulators.
+//!
+//! [`DurationStats`] is the online mean/min/max accumulator Table IV's
+//! per-epoch allocation runtimes are reported through (it used to live
+//! in `mosaic_metrics::timing`; a re-export keeps those callers
+//! compiling unchanged). [`DurationHistogram`] folds the same summary
+//! together with fixed log-decade buckets — the shape every shared
+//! [`crate::Recorder`] histogram snapshots into as well, so offline
+//! accumulators and live telemetry report through one bucket layout
+//! ([`BUCKET_BOUNDS_NS`]).
+
+use std::time::Duration;
+
+/// Upper bucket bounds in nanoseconds (inclusive, Prometheus `le`
+/// semantics): one decade per bucket from 1µs to 10s. Observations
+/// above the last bound land in the implicit overflow bucket, so every
+/// histogram carries [`BUCKETS`] counts.
+pub const BUCKET_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Number of buckets per histogram: every bound plus the overflow
+/// bucket.
+pub const BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// The bucket an observation of `ns` nanoseconds falls into
+/// (`ns <= bound`, overflow last).
+pub(crate) fn bucket_index(ns: u64) -> usize {
+    BUCKET_BOUNDS_NS
+        .iter()
+        .position(|&bound| ns <= bound)
+        .unwrap_or(BUCKET_BOUNDS_NS.len())
+}
+
+/// Online mean/min/max accumulator for durations, used to report the
+/// per-epoch average runtimes of Table IV.
+#[derive(Debug, Clone, Default)]
+pub struct DurationStats {
+    count: u64,
+    total: Duration,
+    min: Option<Duration>,
+    max: Option<Duration>,
+}
+
+impl DurationStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = Some(self.max.map_or(d, |m| m.max(d)));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Mean observation, zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<Duration> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<Duration> {
+        self.max
+    }
+
+    /// Mean in seconds as `f64` — the unit of Table IV.
+    pub fn mean_seconds(&self) -> f64 {
+        self.mean().as_secs_f64()
+    }
+}
+
+/// [`DurationStats`] plus fixed log-decade buckets
+/// ([`BUCKET_BOUNDS_NS`]) — the single-owner counterpart of a
+/// [`crate::Recorder`] histogram, for code that accumulates durations
+/// without sharing them across threads.
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    stats: DurationStats,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            stats: DurationStats::default(),
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation into the summary and its bucket.
+    pub fn record(&mut self, d: Duration) {
+        self.stats.record(d);
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    /// The folded mean/min/max summary.
+    pub fn stats(&self) -> &DurationStats {
+        &self.stats
+    }
+
+    /// Per-bucket observation counts (not cumulative), one per
+    /// [`BUCKET_BOUNDS_NS`] bound plus the overflow bucket.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_stats_accumulate() {
+        let mut s = DurationStats::new();
+        assert_eq!(s.mean(), Duration::ZERO);
+        s.record(Duration::from_millis(10));
+        s.record(Duration::from_millis(30));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Duration::from_millis(20));
+        assert_eq!(s.min(), Some(Duration::from_millis(10)));
+        assert_eq!(s.max(), Some(Duration::from_millis(30)));
+        assert!((s.mean_seconds() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_decades() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        assert_eq!(bucket_index(10_000_000_000), BUCKET_BOUNDS_NS.len() - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_BOUNDS_NS.len());
+    }
+
+    #[test]
+    fn histogram_folds_stats_and_buckets() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::from_micros(1)); // bucket 0 (1µs bound)
+        h.record(Duration::from_micros(500)); // bucket 3 (≤ 1ms)
+        h.record(Duration::from_secs(100)); // overflow
+        assert_eq!(h.stats().count(), 3);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[3], 1);
+        assert_eq!(h.buckets()[BUCKETS - 1], 1);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 3);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`metrics`] | cross-shard ratio, workload deviation, throughput |
 //! | [`sim`] | the unified epoch engine + experiment runner regenerating Tables I–VI & Fig. 1 |
 //! | [`node`] | the live TCP service + typed client (`MosaicClient`), line & binary codecs |
+//! | [`telemetry`] | zero-interference counters/gauges/histograms/spans, JSONL + Prometheus export |
 //!
 //! # Quickstart
 //!
@@ -109,6 +110,7 @@ pub use mosaic_metrics as metrics;
 pub use mosaic_node as node;
 pub use mosaic_partition as partition;
 pub use mosaic_sim as sim;
+pub use mosaic_telemetry as telemetry;
 pub use mosaic_txallo as txallo;
 pub use mosaic_txgraph as txgraph;
 pub use mosaic_types as types;

@@ -206,8 +206,18 @@ fn checked_in_effectiveness_scenario_reproduces_the_table1_grid() {
 
 #[test]
 fn checked_in_scenario_files_are_canonical_presets() {
+    // quick.scenario with the telemetry observer attached: same
+    // workload and seed, CSVs to results-telemetry so CI can
+    // byte-compare against a plain quick run.
+    let mut quick_telemetry = Scenario::full_protocol(&Scale::quick());
+    quick_telemetry.name = "quick-telemetry".to_string();
+    quick_telemetry = quick_telemetry.with_observers([
+        ObserverSpec::StreamCsv(PathBuf::from("results-telemetry")),
+        ObserverSpec::Telemetry(PathBuf::from("telemetry/quick.jsonl")),
+    ]);
     let pinned = [
         ("quick.scenario", Scenario::full_protocol(&Scale::quick())),
+        ("quick-telemetry.scenario", quick_telemetry),
         (
             "default.scenario",
             Scenario::full_protocol(&Scale::default_scale()),
